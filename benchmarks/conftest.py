@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Sizing comes from the environment (see repro.experiments.config):
+
+    REPRO_BUDGET_MS  virtual ms per campaign   (default 20)
+    REPRO_TRIALS     trials per configuration  (default 3)
+    REPRO_TARGETS    comma-separated target subset
+
+Campaign results are cached per (target, mechanism, budget, seed), so
+Tables 5/6/7 share one set of campaigns within a pytest session.
+Rendered tables are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

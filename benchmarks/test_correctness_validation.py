@@ -1,0 +1,57 @@
+"""Benchmark E4 — paper §6.1.4: semantic-correctness validation.
+
+The paper's headline correctness claim: for every queue input, ClosureX
+execution after heavy state pollution is dataflow- and
+control-flow-equivalent to a fresh process (with natural
+non-determinism masked), and a Valgrind-style memcheck stays clean.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import ExperimentConfig, run_correctness
+
+
+@pytest.fixture(scope="module")
+def correctness_config(config):
+    return ExperimentConfig(
+        budget_ns=min(config.budget_ns, 10_000_000),
+        trials=1,
+        targets=config.targets,
+    )
+
+
+@pytest.fixture(scope="module")
+def correctness(correctness_config):
+    return run_correctness(correctness_config, sample_size=4,
+                           pollution_rounds=60)
+
+
+def test_correctness_regenerates(benchmark, correctness_config, results_dir):
+    result = benchmark.pedantic(
+        run_correctness,
+        args=(correctness_config,),
+        kwargs={"sample_size": 4, "pollution_rounds": 60},
+        rounds=1, iterations=1,
+    )
+    save_result(results_dir, "correctness_validation", result.render())
+    assert result.rows
+
+
+def test_zero_dataflow_divergence(correctness):
+    for row in correctness.rows:
+        assert row.dataflow_diverged == 0, row.benchmark
+
+
+def test_zero_controlflow_divergence(correctness):
+    for row in correctness.rows:
+        assert row.controlflow_diverged == 0, row.benchmark
+
+
+def test_memcheck_clean_everywhere(correctness):
+    for row in correctness.rows:
+        assert row.memcheck_clean, row.benchmark
+
+
+def test_all_targets_fully_correct(correctness):
+    assert correctness.all_correct

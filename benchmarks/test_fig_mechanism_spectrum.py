@@ -1,0 +1,44 @@
+"""Benchmark E5 — the execution-mechanism spectrum (paper §2, Figs 1-2).
+
+Per-test-case cost of fresh / forkserver / naive-persistent / ClosureX
+on one target, split into target execution vs process management.
+The defining shape: fresh >> forkserver >> ClosureX ~ persistent, with
+process management dominating fresh (>80%) and almost absent from
+ClosureX (<20%).
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import run_spectrum
+
+
+@pytest.fixture(scope="module")
+def spectrum():
+    return run_spectrum("giftext", iterations=30)
+
+
+def test_spectrum_regenerates(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_spectrum, kwargs={"target": "giftext", "iterations": 30},
+        rounds=1, iterations=1,
+    )
+    save_result(results_dir, "fig_mechanism_spectrum", result.render())
+
+
+def test_ordering(spectrum):
+    assert spectrum.ordering_correct(), spectrum.render()
+
+
+def test_management_shares(spectrum):
+    shares = {p.mechanism: p.management_share for p in spectrum.points}
+    assert shares["fresh"] > 0.8
+    assert shares["forkserver"] > 0.4
+    assert shares["closurex"] < 0.2
+    assert shares["persistent"] < 0.2
+
+
+def test_closurex_near_persistent_speed(spectrum):
+    by_name = {p.mechanism: p.ns_per_exec for p in spectrum.points}
+    # "near-persistent performance": within 2x of the incorrect loop
+    assert by_name["closurex"] < 2.0 * by_name["persistent"]

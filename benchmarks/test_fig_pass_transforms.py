@@ -1,0 +1,52 @@
+"""Benchmark E6 — paper Figures 3-5: the pass transformations at work.
+
+Figure 3: GlobalPass relocates every writable global into
+``closure_global_section`` while constants stay put.
+Figures 4-5: one iteration's lifecycle — globals dirtied by the test
+case, chunks/handles tracked, everything restored.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import run_global_pass_figure, run_restore_lifecycle
+from repro.targets import target_names
+
+
+@pytest.fixture(scope="module")
+def global_figures():
+    return {name: run_global_pass_figure(name) for name in target_names()}
+
+
+def test_figures_regenerate(benchmark, results_dir):
+    def build():
+        lines = [run_global_pass_figure(name).render() for name in target_names()]
+        lines += [run_restore_lifecycle(name).render()
+                  for name in ("bsdtar", "gpmf-parser", "md4c")]
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_result(results_dir, "fig_pass_transforms", text)
+
+
+def test_every_target_has_relocated_globals(global_figures):
+    for name, figure in global_figures.items():
+        assert figure.relocated, name
+        assert figure.section_bytes > 0, name
+
+
+def test_constants_never_relocated(global_figures):
+    for name, figure in global_figures.items():
+        assert not (set(figure.relocated) & set(figure.kept_constant)), name
+
+
+def test_restore_lifecycle_cleans_up():
+    for name in ("bsdtar", "libpcap", "md4c"):
+        figure = run_restore_lifecycle(name)
+        assert figure.clean_after_restore, name
+        assert figure.restored_section_bytes > 0, name
+
+
+def test_lifecycle_observes_dirty_state():
+    figure = run_restore_lifecycle("bsdtar")
+    assert figure.dirty_global_bytes > 0

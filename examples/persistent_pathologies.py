@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The motivation, live: why naive persistent fuzzing is incorrect.
+
+Reproduces the paper's §1-2 argument on a deliberately stateful target:
+
+1. a *missed crash* — stale global state hides a real bug,
+2. a *false crash* — accumulated leaks kill the process on valid input,
+3. *non-reproducibility* — the false crash vanishes in a fresh process,
+
+and then shows ClosureX running the identical sequences with
+fresh-process behaviour every time.
+
+Run:  python examples/persistent_pathologies.py
+"""
+
+from repro.experiments import DEMO_SOURCE, run_motivation
+
+
+def main():
+    print("The stateful demo target:")
+    print("-" * 60)
+    print(DEMO_SOURCE.strip())
+    print("-" * 60)
+    print()
+
+    report = run_motivation()
+
+    print("1. MISSED CRASH")
+    print("   fresh process on 'C...':     ",
+          "CRASH (ground truth)" if report.fresh_crash else "no crash?!")
+    print("   naive persistent, 'D...' then 'C...':",
+          "no crash — MISSED" if report.persistent_missed_crash else "crash")
+    print("   ClosureX,        'D...' then 'C...':",
+          "CRASH — caught" if report.closurex_crash else "missed?!")
+    print()
+
+    print("2. FALSE CRASH")
+    kinds = [k.value for k in report.persistent_false_crashes]
+    print(f"   naive persistent after leaky iterations: {kinds or 'none'}")
+    print(f"   peak leak {report.persistent_peak_leaked_bytes} bytes, "
+          f"{report.persistent_peak_open_fds} open FILE handles")
+    print()
+
+    print("3. NON-REPRODUCIBILITY")
+    print("   the 'crashing' input, replayed in a fresh process:",
+          "crashes" if report.false_crash_reproducible_fresh
+          else "does NOT crash — the report is garbage")
+    print()
+
+    verdict = ("all three pathologies demonstrated; ClosureX exhibits none"
+               if report.demonstrates_incorrectness
+               else "unexpected: some pathology did not manifest")
+    print(f"verdict: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

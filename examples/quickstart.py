@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a target, instrument it with ClosureX, fuzz it.
+
+This walks the whole pipeline in ~30 lines of API:
+
+  MiniC source -> MiniIR module -> ClosureX passes -> persistent harness
+  -> coverage-guided campaign -> crashes + speedup vs AFL++'s forkserver.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.execution import ClosureXExecutor, ForkServerExecutor
+from repro.fuzzing import Campaign, CampaignConfig
+from repro.minic import compile_c
+from repro.passes import PassManager, baseline_passes, closurex_passes
+from repro.sim_os import Kernel
+
+# A little PNG-chunk-flavoured parser with one planted bug.
+SOURCE = r"""
+int chunks_seen;
+long payload_bytes;
+
+int main(int argc, char **argv) {
+    char buf[256];
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    long n = fread(buf, 1, 256, f);
+    fclose(f);
+    if (n < 4) { exit(2); }
+    if (buf[0] != 'P' || buf[1] != 'K') { exit(3); }
+    long off = 2;
+    while (off + 2 <= n) {
+        char kind = buf[off];
+        long len = (long)buf[off + 1];
+        off += 2;
+        if (off + len > n) { exit(4); }
+        chunks_seen++;
+        payload_bytes += len;
+        if (kind == 'Q' && len == 0) {
+            int *p = NULL;
+            *p = 1;                       /* the bug: empty Q chunk */
+        }
+        off += len;
+    }
+    return chunks_seen;
+}
+"""
+
+SEEDS = [
+    b"PK" + b"A\x04data" + b"B\x02hi",
+    b"PK" + b"Q\x03abc",
+    b"PK" + b"Z\x00",
+]
+
+IMAGE_BYTES = 300_000
+BUDGET_NS = 30_000_000  # 30 virtual milliseconds per mechanism
+
+
+def build(pipeline_factory):
+    module = compile_c(SOURCE, "quickstart")
+    PassManager(pipeline_factory(coverage_seed=1)).run(module)
+    return module
+
+
+def fuzz(name, executor):
+    campaign = Campaign(executor, SEEDS, CampaignConfig(budget_ns=BUDGET_NS, seed=7))
+    result = campaign.run()
+    print(f"{name:>12}: {result.execs:6d} execs "
+          f"({result.execs_per_second:,.0f}/virtual-sec), "
+          f"{result.edges_found} edges, "
+          f"{result.unique_crashes} unique crash(es)")
+    for report in result.crash_reports:
+        print(f"{'':>14}crash: {report.describe()}")
+    return result
+
+
+def main():
+    print("ClosureX quickstart: one bug, two execution mechanisms\n")
+    closurex = fuzz(
+        "ClosureX",
+        ClosureXExecutor(build(closurex_passes), IMAGE_BYTES, Kernel()),
+    )
+    forkserver = fuzz(
+        "forkserver",
+        ForkServerExecutor(build(baseline_passes), IMAGE_BYTES, Kernel()),
+    )
+    speedup = closurex.execs_per_second / forkserver.execs_per_second
+    print(f"\nClosureX executed {speedup:.2f}x more test cases per virtual "
+          f"second than the AFL++-style forkserver.")
+    if closurex.unique_crashes and forkserver.unique_crashes:
+        print("Both mechanisms see the same bug; ClosureX just gets there on "
+              "a fraction of the process-management budget.")
+    elif closurex.unique_crashes:
+        print("The extra throughput paid off: only ClosureX reached the bug "
+              "within this budget.")
+
+
+if __name__ == "__main__":
+    main()

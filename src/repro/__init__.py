@@ -1,0 +1,24 @@
+"""repro: Python reproduction of ClosureX (ASPLOS '25).
+
+ClosureX is a compiler-supported execution mechanism for *correct
+persistent fuzzing*: a set of IR transformation passes plus a runtime
+harness that make a target program naturally restartable, so an entire
+fuzzing campaign runs in one process with per-test-case state
+restoration.
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.ir` — MiniIR, the LLVM-flavoured compiler IR.
+- :mod:`repro.minic` — a small C-like front-end used to author targets.
+- :mod:`repro.vm` — the MiniVM interpreter and process-state model.
+- :mod:`repro.sim_os` — simulated kernel: processes, fork, cost model.
+- :mod:`repro.passes` — the ClosureX passes and pass manager.
+- :mod:`repro.runtime` — the ClosureX harness (paper Listing 1).
+- :mod:`repro.execution` — fresh / forkserver / persistent / ClosureX executors.
+- :mod:`repro.fuzzing` — AFL++-style coverage-guided fuzzer.
+- :mod:`repro.targets` — the ten benchmark targets with planted bugs.
+- :mod:`repro.correctness` — dataflow/control-flow equivalence checking.
+- :mod:`repro.experiments` — Table 5/6/7 and figure reproduction.
+"""
+
+__version__ = "1.0.0"

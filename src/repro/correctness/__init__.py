@@ -1,0 +1,28 @@
+"""Correctness validation: the paper's §6.1.4 machinery."""
+
+from repro.correctness.controlflow import (
+    ControlFlowReport,
+    check_controlflow_equivalence,
+    fresh_trace,
+    polluted_trace,
+)
+from repro.correctness.dataflow import (
+    DataflowReport,
+    check_dataflow_equivalence,
+    check_restoration_resets_state,
+    fresh_snapshot,
+    polluted_snapshot,
+)
+from repro.correctness.memcheck import (
+    LIFECYCLE_KINDS,
+    MemcheckReport,
+    run_memcheck,
+)
+
+__all__ = [
+    "ControlFlowReport", "check_controlflow_equivalence",
+    "fresh_trace", "polluted_trace",
+    "DataflowReport", "check_dataflow_equivalence",
+    "check_restoration_resets_state", "fresh_snapshot", "polluted_snapshot",
+    "LIFECYCLE_KINDS", "MemcheckReport", "run_memcheck",
+]

@@ -1,0 +1,129 @@
+"""Control-flow-equivalence checking (paper §6.1.4).
+
+Records the exact path-sensitive edge trace of a test case in a fresh
+process and compares it with the trace of the same test case executed
+under ClosureX after 1000 (configurable) polluting iterations.
+
+Inputs whose traces differ across repeated *fresh* runs are flagged as
+naturally non-deterministic and excluded, exactly as the paper handles
+freetype's PRNG-dependent paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Module
+from repro.runtime.harness import ClosureXHarness, HarnessConfig
+
+EdgeTrace = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class ControlFlowReport:
+    """Outcome of one control-flow-equivalence check."""
+
+    equivalent: bool
+    nondeterministic: bool       # excluded: fresh runs disagree with each other
+    fresh_edges: int
+    polluted_edges: int
+    first_divergence: int | None = None
+
+    def describe(self) -> str:
+        if self.nondeterministic:
+            return "EXCLUDED (naturally non-deterministic control flow)"
+        if self.equivalent:
+            return f"EQUIVALENT ({self.fresh_edges} edges)"
+        return (
+            f"DIVERGED at edge {self.first_divergence} "
+            f"({self.fresh_edges} vs {self.polluted_edges} edges)"
+        )
+
+
+def _traced_run(harness: ClosureXHarness, data: bytes, restore: bool) -> EdgeTrace:
+    assert harness.vm is not None
+    vm = harness.vm
+    vm.trace_edges = True
+    vm.edge_trace = []
+    try:
+        harness.run_test_case(data, restore=restore)
+    finally:
+        vm.trace_edges = False
+    return tuple(vm.edge_trace)
+
+
+def fresh_trace(module: Module, data: bytes,
+                config: HarnessConfig | None = None) -> EdgeTrace:
+    """Path-sensitive edge trace of *data* in a brand-new process."""
+    harness = ClosureXHarness(module, config=config)
+    harness.boot()
+    return _traced_run(harness, data, restore=False)
+
+
+def polluted_trace(
+    module: Module,
+    data: bytes,
+    pollution: list[bytes],
+    config: HarnessConfig | None = None,
+) -> EdgeTrace:
+    """Edge trace of *data* under ClosureX after polluting iterations.
+
+    Crashing pollution inputs kill the process; the harness is rebooted
+    (the fuzzer's restart) and pollution continues."""
+    harness = ClosureXHarness(module, config=config)
+    harness.boot()
+    for other in pollution:
+        result = harness.run_test_case(other, restore=True)
+        if not result.status.survivable:
+            harness = ClosureXHarness(module, config=config)
+            harness.boot()
+    return _traced_run(harness, data, restore=False)
+
+
+def check_controlflow_equivalence(
+    module: Module,
+    data: bytes,
+    pollution: list[bytes],
+    nondet_runs: int = 3,
+    config: HarnessConfig | None = None,
+) -> ControlFlowReport:
+    """Full §6.1.4 control-flow check for one input."""
+    traces = [fresh_trace(module, data, config) for _ in range(nondet_runs)]
+    reference = traces[0]
+    if any(t != reference for t in traces[1:]):
+        return ControlFlowReport(
+            equivalent=False,
+            nondeterministic=True,
+            fresh_edges=len(reference),
+            polluted_edges=0,
+        )
+    observed = polluted_trace(module, data, pollution, config)
+    if observed == reference:
+        return ControlFlowReport(
+            equivalent=True,
+            nondeterministic=False,
+            fresh_edges=len(reference),
+            polluted_edges=len(observed),
+        )
+    # Adaptive refinement: before declaring divergence, gather more
+    # fresh traces — a rarely-taken non-deterministic path (PRNG cache
+    # hit) may not have shown in the initial sample.
+    for _ in range(2 * nondet_runs + 4):
+        if fresh_trace(module, data, config) != reference:
+            return ControlFlowReport(
+                equivalent=False,
+                nondeterministic=True,
+                fresh_edges=len(reference),
+                polluted_edges=len(observed),
+            )
+    divergence = next(
+        (i for i, (a, b) in enumerate(zip(reference, observed)) if a != b),
+        min(len(reference), len(observed)),
+    )
+    return ControlFlowReport(
+        equivalent=False,
+        nondeterministic=False,
+        fresh_edges=len(reference),
+        polluted_edges=len(observed),
+        first_divergence=divergence,
+    )

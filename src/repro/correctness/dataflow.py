@@ -1,0 +1,161 @@
+"""Dataflow-equivalence checking (paper §6.1.4).
+
+Validates ClosureX's central correctness claim: executing a test case
+in the persistent loop — after the state has been "polluted" by many
+other test cases and restored — leaves the program in *exactly* the
+state a fresh process would.
+
+Methodology, mirroring the paper:
+
+1. Run the input in N independent fresh processes; bytes that differ
+   across those runs are *naturally non-deterministic* (PRNG seeds,
+   time) and are masked out (:class:`NondetMask`).
+2. Run the input under ClosureX after ``pollution_rounds`` other
+   inputs have executed in the same process.
+3. Compare the post-execution snapshots (writable globals, live heap
+   chunk set, open handles) bytewise, modulo the mask.
+
+Both sides execute the *same* ClosureX-instrumented module — the fresh
+ground truth is simply a harness that runs one test case and stops,
+i.e. a fresh process of the instrumented binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Module
+from repro.runtime.harness import ClosureXHarness, HarnessConfig, IterationStatus
+from repro.vm.snapshot import (
+    NondetMask,
+    ProgramSnapshot,
+    SnapshotDelta,
+    build_nondet_mask,
+    diff_snapshots,
+    take_snapshot,
+)
+
+
+@dataclass
+class DataflowReport:
+    """Outcome of one dataflow-equivalence check."""
+
+    equivalent: bool
+    delta: SnapshotDelta
+    masked_bytes: int
+    fresh_status: IterationStatus
+    polluted_status: IterationStatus
+
+    def describe(self) -> str:
+        state = "EQUIVALENT" if self.equivalent else "DIVERGED"
+        return (
+            f"{state} (masked {self.masked_bytes} non-deterministic bytes): "
+            f"{self.delta.describe()}"
+        )
+
+
+def fresh_snapshot(
+    module: Module, data: bytes, config: HarnessConfig | None = None
+) -> tuple[ProgramSnapshot, IterationStatus]:
+    """Post-execution state of *data* in a brand-new process."""
+    harness = ClosureXHarness(module, config=config)
+    harness.boot()
+    result = harness.run_test_case(data, restore=False)
+    assert harness.vm is not None
+    return take_snapshot(harness.vm), result.status
+
+
+def polluted_snapshot(
+    module: Module,
+    data: bytes,
+    pollution: list[bytes],
+    config: HarnessConfig | None = None,
+) -> tuple[ProgramSnapshot, IterationStatus]:
+    """Post-execution state of *data* under ClosureX after running (and
+    restoring) every input in *pollution* first.
+
+    A crashing pollution input kills the persistent process (as it
+    would in reality); the fuzzer restarts it, so we reboot the harness
+    and continue polluting.
+    """
+    harness = ClosureXHarness(module, config=config)
+    harness.boot()
+    for other in pollution:
+        result = harness.run_test_case(other, restore=True)
+        if not result.status.survivable:
+            harness = ClosureXHarness(module, config=config)
+            harness.boot()
+    result = harness.run_test_case(data, restore=False)
+    assert harness.vm is not None
+    return take_snapshot(harness.vm), result.status
+
+
+def check_dataflow_equivalence(
+    module: Module,
+    data: bytes,
+    pollution: list[bytes],
+    nondet_runs: int = 3,
+    config: HarnessConfig | None = None,
+    mask_granularity: str = "variable",
+) -> DataflowReport:
+    """Full §6.1.4 dataflow check for one input.
+
+    Variable-granularity masking is the default: when fresh runs show a
+    global varies at all, the whole variable is treated as
+    non-deterministic, which converges with few fresh runs (the paper's
+    byte mask required "multiple" runs to stabilise).
+    """
+    fresh_runs = [fresh_snapshot(module, data, config) for _ in range(nondet_runs)]
+    snapshots = [snap for snap, _ in fresh_runs]
+    mask = build_nondet_mask(snapshots, granularity=mask_granularity)
+    # The §6.1.4 comparison covers *target-visible* state.  libc's
+    # internal PRNG seed is not target state (ClosureX deliberately does
+    # not restore libc internals); its *effects* on target globals are
+    # still compared, via the masked section diff.
+    mask.ignore_rand = True
+    observed, polluted_status = polluted_snapshot(module, data, pollution, config)
+    delta = diff_snapshots(snapshots[0], observed, mask)
+    if not delta.equivalent:
+        # Adaptive refinement (the paper's "running fresh process
+        # executions multiple times"): a small fresh sample can miss
+        # rarely-varying non-deterministic bytes (e.g. a PRNG-placed
+        # cache slot that only sometimes collides).  Collect more fresh
+        # runs; if the disputed bytes vary naturally, the widened mask
+        # absorbs them — a genuine divergence survives any number.
+        for snap, _status in (
+            fresh_snapshot(module, data, config) for _ in range(2 * nondet_runs + 4)
+        ):
+            snapshots.append(snap)
+        mask = build_nondet_mask(snapshots, granularity=mask_granularity)
+        delta = diff_snapshots(snapshots[0], observed, mask)
+    return DataflowReport(
+        equivalent=delta.equivalent,
+        delta=delta,
+        masked_bytes=mask.masked_byte_count,
+        fresh_status=fresh_runs[0][1],
+        polluted_status=polluted_status,
+    )
+
+
+def check_restoration_resets_state(
+    module: Module, inputs: list[bytes], config: HarnessConfig | None = None
+) -> SnapshotDelta:
+    """Complementary invariant: after running *inputs* with restoration,
+    the process state equals its post-boot state.
+
+    The libc PRNG is deliberately excluded: ClosureX restores the
+    *target's* state (globals, heap, handles); libc-internal state such
+    as the ``rand`` seed is not covered by the GlobalPass, exactly as
+    in the paper — its effects are what the non-determinism masking in
+    the equivalence checks accounts for.
+    """
+    harness = ClosureXHarness(module, config=config)
+    harness.boot()
+    assert harness.vm is not None
+    baseline = take_snapshot(harness.vm)
+    for data in inputs:
+        harness.run_test_case(data, restore=True)
+    after = take_snapshot(harness.vm)
+    mask = NondetMask()
+    mask.ignore_rand = True
+    return diff_snapshots(baseline, after, mask)

@@ -1,0 +1,24 @@
+"""Execution mechanisms: the paper's process-management spectrum."""
+
+from repro.execution.closurex import ClosureXExecutor
+from repro.execution.common import (
+    DEFAULT_EXEC_INSTRUCTION_LIMIT,
+    ExecResult,
+    Executor,
+    ExecutorStats,
+)
+from repro.execution.forkserver import ForkServerExecutor
+from repro.execution.fresh import FreshProcessExecutor
+from repro.execution.persistent import NaivePersistentExecutor, PollutionStats
+
+__all__ = [
+    "ClosureXExecutor",
+    "DEFAULT_EXEC_INSTRUCTION_LIMIT",
+    "ExecResult",
+    "Executor",
+    "ExecutorStats",
+    "ForkServerExecutor",
+    "FreshProcessExecutor",
+    "NaivePersistentExecutor",
+    "PollutionStats",
+]

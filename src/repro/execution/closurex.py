@@ -1,0 +1,106 @@
+"""ClosureX execution: persistent speed with fresh-process correctness.
+
+One resident process runs the ClosureX-instrumented target in the
+harness loop (paper Listing 1); after every test case the harness
+performs fine-grain restoration, so each iteration is semantically a
+fresh execution.  Genuine crashes still kill the process — as they do
+in reality — so the executor respawns the harness after a crash or
+hang; those are rare enough that the amortised cost is negligible.
+"""
+
+from __future__ import annotations
+
+from repro.execution.common import ExecResult, Executor
+from repro.ir.module import Module
+from repro.runtime.harness import ClosureXHarness, HarnessConfig
+from repro.sim_os.kernel import Kernel, ProcessRecord
+from repro.vm.filesystem import VirtualFS
+
+
+class ClosureXExecutor(Executor):
+    """One persistent process with per-test-case state restoration."""
+
+    mechanism = "closurex"
+
+    def __init__(
+        self,
+        module: Module,
+        image_bytes: int,
+        kernel: Kernel,
+        config: HarnessConfig | None = None,
+    ):
+        super().__init__(kernel)
+        self.module = module
+        self.image_bytes = image_bytes
+        self.config = config if config is not None else HarnessConfig()
+        self.fs = VirtualFS()
+        self.harness: ClosureXHarness | None = None
+        self.process: ProcessRecord | None = None
+        self._parent: ProcessRecord | None = None
+        self.last_restore = None
+
+    def boot(self) -> None:
+        # As in AFL++, the persistent target runs under a forkserver
+        # parent, so post-crash restarts cost a fork, not a full spawn.
+        self._parent = self.kernel.spawn(self.module.name, self.image_bytes)
+        self.process = self.kernel.fork(self._parent, self.image_bytes)
+        self._boot_harness()
+
+    def _boot_harness(self, charge_load: bool = False) -> None:
+        # The process image is inherited from the forkserver parent, so
+        # per-(re)boot we charge only what the child itself runs.
+        self.harness = ClosureXHarness(
+            self.module,
+            fs=self.fs,
+            costs=self.kernel.costs,
+            config=self.config,
+        )
+        vm = self.harness.boot(charge_load=charge_load)
+        self.kernel.charge(vm.cost)
+        self._cost_mark = vm.cost
+
+    def _respawn(self) -> None:
+        """The persistent process died (crash/hang); the forkserver
+        parent forks a replacement."""
+        assert self.process is not None
+        self.kernel.reap(self.process, None, crashed=True)
+        self.process = self.kernel.fork(self._parent, self.image_bytes)
+        self._boot_harness()
+        self.stats.respawns += 1
+
+    def run(self, data: bytes) -> ExecResult:
+        if self.harness is None:
+            self.boot()
+        assert self.harness is not None and self.harness.vm is not None
+        start_ns = self.clock.now_ns
+        self.kernel.charge_dispatch()
+        self.harness.config.instruction_limit = self.exec_instruction_limit
+
+        iteration = self.harness.run_test_case(data)
+        vm = self.harness.vm
+        self.kernel.charge(vm.cost - self._cost_mark)
+        self._cost_mark = vm.cost
+        coverage = vm.coverage_map
+        self.last_restore = iteration.restore
+
+        if not iteration.status.survivable:
+            self._respawn()
+
+        result = ExecResult(
+            status=iteration.status,
+            return_code=iteration.return_code,
+            trap=iteration.trap,
+            coverage=coverage,
+            ns=self.clock.now_ns - start_ns,
+            instructions=iteration.instructions,
+        )
+        self.stats.observe(result)
+        return result
+
+    def shutdown(self) -> None:
+        if self.process is not None:
+            self.kernel.reap(self.process, 0)
+            self.process = None
+        if self._parent is not None:
+            self.kernel.reap(self._parent, 0, fresh=True)
+            self._parent = None

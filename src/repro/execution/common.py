@@ -1,0 +1,94 @@
+"""Shared executor interfaces.
+
+An *executor* is one point on the paper's execution-mechanism spectrum:
+given raw test-case bytes, run the target once and report what
+happened, charging every kernel and runtime cost to a shared virtual
+clock.  All four mechanisms present the same interface so the fuzzer is
+mechanism-agnostic — exactly how AFL++ treats its forkserver vs
+persistent modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.harness import IterationStatus
+from repro.sim_os.kernel import Kernel
+from repro.vm.errors import VMTrap
+
+#: Default per-test-case instruction budget (hang detection).
+DEFAULT_EXEC_INSTRUCTION_LIMIT = 2_000_000
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing one test case under some mechanism."""
+
+    status: IterationStatus
+    return_code: int | None
+    trap: VMTrap | None
+    coverage: bytearray            # live view of the AFL-style map
+    ns: int                        # virtual time consumed, all-in
+    instructions: int = 0
+
+    @property
+    def is_crash(self) -> bool:
+        return self.status is IterationStatus.CRASH
+
+    @property
+    def is_hang(self) -> bool:
+        return self.status is IterationStatus.HANG
+
+
+@dataclass
+class ExecutorStats:
+    """Cumulative per-executor counters."""
+
+    execs: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    clean_exits: int = 0
+    normal_returns: int = 0
+    respawns: int = 0
+    total_ns: int = 0
+
+    def observe(self, result: ExecResult) -> None:
+        self.execs += 1
+        self.total_ns += result.ns
+        if result.status is IterationStatus.CRASH:
+            self.crashes += 1
+        elif result.status is IterationStatus.HANG:
+            self.hangs += 1
+        elif result.status is IterationStatus.OK:
+            self.normal_returns += 1
+        else:
+            self.clean_exits += 1
+
+    def execs_per_virtual_second(self) -> float:
+        if self.total_ns == 0:
+            return 0.0
+        return self.execs / (self.total_ns / 1e9)
+
+
+class Executor:
+    """Base class for the four execution mechanisms."""
+
+    mechanism = "<abstract>"
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.stats = ExecutorStats()
+        self.exec_instruction_limit = DEFAULT_EXEC_INSTRUCTION_LIMIT
+
+    @property
+    def clock(self):
+        return self.kernel.clock
+
+    def boot(self) -> None:
+        """One-time setup before the first test case (may be a no-op)."""
+
+    def run(self, data: bytes) -> ExecResult:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Tear down any live process state."""

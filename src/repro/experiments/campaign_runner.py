@@ -1,0 +1,57 @@
+"""Shared campaign plumbing for the table experiments.
+
+Builds the right (module, executor) pair for a mechanism and runs a
+seeded campaign; Tables 5-7 all consume the same runs, so results are
+cached per (target, mechanism, trial, budget) within a process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.execution import (
+    ClosureXExecutor,
+    Executor,
+    ForkServerExecutor,
+    FreshProcessExecutor,
+    NaivePersistentExecutor,
+)
+from repro.fuzzing import Campaign, CampaignConfig, CampaignResult
+from repro.sim_os import Kernel
+from repro.targets import get_target
+
+MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
+
+
+def build_executor(target_name: str, mechanism: str, kernel: Kernel) -> Executor:
+    """Instrument the target for *mechanism* and wrap it in an executor."""
+    spec = get_target(target_name)
+    if mechanism == "closurex":
+        return ClosureXExecutor(spec.build_closurex(), spec.image_bytes, kernel)
+    if mechanism == "forkserver":
+        return ForkServerExecutor(spec.build_baseline(), spec.image_bytes, kernel)
+    if mechanism == "persistent":
+        return NaivePersistentExecutor(spec.build_persistent(), spec.image_bytes, kernel)
+    if mechanism == "fresh":
+        return FreshProcessExecutor(spec.build_baseline(), spec.image_bytes, kernel)
+    raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+@lru_cache(maxsize=None)
+def run_campaign(
+    target_name: str, mechanism: str, budget_ns: int, seed: int
+) -> CampaignResult:
+    """Run (or return the cached result of) one fuzzing campaign."""
+    spec = get_target(target_name)
+    kernel = Kernel()
+    executor = build_executor(target_name, mechanism, kernel)
+    campaign = Campaign(
+        executor,
+        spec.seeds,
+        CampaignConfig(budget_ns=budget_ns, seed=seed),
+    )
+    return campaign.run()
+
+
+def clear_campaign_cache() -> None:
+    run_campaign.cache_clear()

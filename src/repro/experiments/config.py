@@ -1,0 +1,63 @@
+"""Experiment sizing.
+
+The paper runs 5 x 24-hour trials per configuration on Azure; we run
+5 x N-virtual-millisecond trials and extrapolate throughput to the
+24-hour horizon for reporting.  Ratios (speedups, improvements) are
+horizon-independent.
+
+Environment knobs (so CI runs stay quick and a full run is one export
+away):
+
+- ``REPRO_BUDGET_MS``  — virtual milliseconds per campaign (default 20)
+- ``REPRO_TRIALS``     — trials per configuration (default 3)
+- ``REPRO_TARGETS``    — comma-separated subset of target names
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.targets import target_names
+
+#: The paper's horizon: 24 hours, in virtual nanoseconds.
+HORIZON_24H_NS = 24 * 3600 * 10**9
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _env_targets() -> list[str]:
+    value = os.environ.get("REPRO_TARGETS")
+    if not value:
+        return target_names()
+    requested = [name.strip() for name in value.split(",") if name.strip()]
+    known = set(target_names())
+    unknown = [name for name in requested if name not in known]
+    if unknown:
+        raise ValueError(f"unknown targets in REPRO_TARGETS: {unknown}")
+    return requested
+
+
+@dataclass
+class ExperimentConfig:
+    """Sizing for one experiment run."""
+
+    budget_ns: int = field(
+        default_factory=lambda: _env_int("REPRO_BUDGET_MS", 20) * 1_000_000
+    )
+    trials: int = field(default_factory=lambda: _env_int("REPRO_TRIALS", 3))
+    targets: list[str] = field(default_factory=_env_targets)
+    base_seed: int = 1000
+
+    def trial_seed(self, target: str, mechanism: str, trial: int) -> int:
+        """Deterministic per-(target, mechanism, trial) fuzzer seed.
+
+        The same trial index yields the same mutation schedule for both
+        mechanisms, matching the paper's controlled comparison."""
+        digest = 0
+        for ch in f"{target}:{trial}".encode():
+            digest = (digest * 33 + ch) & 0x7FFFFFFF
+        return self.base_seed + digest

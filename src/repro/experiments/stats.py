@@ -1,0 +1,51 @@
+"""Statistics helpers for the evaluation (Mann-Whitney U, formatting).
+
+The paper reports Mann-Whitney U p-values over 5 independent trials per
+configuration (§5.4); :func:`mann_whitney_p` wraps scipy's exact test
+the same way.
+"""
+
+from __future__ import annotations
+
+from scipy import stats
+
+
+def mann_whitney_p(sample_a: list[float], sample_b: list[float]) -> float:
+    """Two-sided Mann-Whitney U p-value; 1.0 when degenerate."""
+    if not sample_a or not sample_b:
+        return 1.0
+    if set(sample_a) == set(sample_b) and len(set(sample_a)) == 1:
+        return 1.0
+    try:
+        result = stats.mannwhitneyu(sample_a, sample_b, alternative="two-sided")
+    except ValueError:
+        return 1.0
+    return float(result.pvalue)
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def format_count(value: float) -> str:
+    """Format a test-case count the way Table 5 does (e.g. ``379M``)."""
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}B"
+    if value >= 1e6:
+        return f"{value / 1e6:.0f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f}K"
+    return f"{value:.0f}"
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table (the benches print these)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Experiment E1 — Table 5: test-case execution rate.
+
+For every benchmark, run N-trial fuzzing campaigns under ClosureX and
+under the AFL++ forkserver with identical seeds/mutators, extrapolate
+each trial's throughput to the paper's 24-hour horizon, and report the
+per-target speedup and Mann-Whitney p-value — the same row format as
+the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.campaign_runner import run_campaign
+from repro.experiments.config import HORIZON_24H_NS, ExperimentConfig
+from repro.experiments.stats import format_count, format_table, mann_whitney_p, mean
+
+
+@dataclass
+class Table5Row:
+    benchmark: str
+    closurex_execs_24h: float
+    aflpp_execs_24h: float
+    speedup: float
+    p_value: float
+    closurex_trials: list[float] = field(default_factory=list)
+    aflpp_trials: list[float] = field(default_factory=list)
+
+
+@dataclass
+class Table5Result:
+    rows: list[Table5Row]
+    average_speedup: float
+
+    def render(self) -> str:
+        body = [
+            [
+                row.benchmark,
+                format_count(row.closurex_execs_24h),
+                format_count(row.aflpp_execs_24h),
+                f"{row.speedup:.2f}",
+                f"{row.p_value:.4f}",
+            ]
+            for row in self.rows
+        ]
+        body.append(["Average", "", "", f"{self.average_speedup:.2f}", ""])
+        return format_table(
+            ["Benchmark", "ClosureX", "AFL++", "Speedup", "p value"], body
+        )
+
+
+def run_table5(config: ExperimentConfig | None = None) -> Table5Result:
+    config = config if config is not None else ExperimentConfig()
+    rows: list[Table5Row] = []
+    for target in config.targets:
+        closurex: list[float] = []
+        aflpp: list[float] = []
+        for trial in range(config.trials):
+            seed = config.trial_seed(target, "any", trial)
+            cx = run_campaign(target, "closurex", config.budget_ns, seed)
+            fk = run_campaign(target, "forkserver", config.budget_ns, seed)
+            closurex.append(cx.extrapolate_execs(HORIZON_24H_NS))
+            aflpp.append(fk.extrapolate_execs(HORIZON_24H_NS))
+        cx_mean, fk_mean = mean(closurex), mean(aflpp)
+        rows.append(
+            Table5Row(
+                benchmark=target,
+                closurex_execs_24h=cx_mean,
+                aflpp_execs_24h=fk_mean,
+                speedup=cx_mean / fk_mean if fk_mean else 0.0,
+                p_value=mann_whitney_p(closurex, aflpp),
+                closurex_trials=closurex,
+                aflpp_trials=aflpp,
+            )
+        )
+    average = mean([row.speedup for row in rows])
+    return Table5Result(rows=rows, average_speedup=average)

@@ -1,0 +1,28 @@
+"""AFL++-style coverage-guided fuzzer built on the executor interface."""
+
+from repro.fuzzing.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    TimelinePoint,
+)
+from repro.fuzzing.corpus import Corpus, QueueEntry
+from repro.fuzzing.coverage import (
+    VirginMap,
+    classify,
+    coverage_signature,
+    edge_count,
+)
+from repro.fuzzing.mutators import (
+    HavocMutator,
+    deterministic_mutations,
+)
+from repro.fuzzing.triage import CrashIdentity, CrashReport, CrashTriage
+
+__all__ = [
+    "Campaign", "CampaignConfig", "CampaignResult", "TimelinePoint",
+    "Corpus", "QueueEntry",
+    "VirginMap", "classify", "coverage_signature", "edge_count",
+    "HavocMutator", "deterministic_mutations",
+    "CrashIdentity", "CrashReport", "CrashTriage",
+]

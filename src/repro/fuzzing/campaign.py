@@ -1,0 +1,235 @@
+"""The fuzzing campaign driver.
+
+Ties the pieces together the way ``afl-fuzz`` does: seed the queue, then
+loop — select an entry, run its deterministic stage once, then havoc
+with corpus-energy-scaled intensity — until the virtual time budget is
+exhausted.  Mechanism-agnostic: any :class:`~repro.execution.Executor`
+slots in, which is exactly the controlled comparison the paper's
+evaluation needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.execution.common import ExecResult, Executor
+from repro.fuzzing.corpus import Corpus, QueueEntry
+from repro.fuzzing.coverage import VirginMap, coverage_signature
+from repro.fuzzing.mutators import HavocMutator, deterministic_mutations
+from repro.fuzzing.triage import CrashTriage
+
+
+@dataclass
+class CampaignConfig:
+    """Tunables for one fuzzing run."""
+
+    budget_ns: int = 200_000_000          # virtual time budget
+    seed: int = 0                         # RNG seed (per-trial variation)
+    # AFL++ skips the deterministic stage by default (its -D flag turns
+    # it back on); we match that default.
+    enable_deterministic: bool = False
+    det_stage_cap: int = 512              # cap det stage execs per entry
+    # AFL++ trims queue entries before fuzzing them: remove chunks while
+    # the coverage signature stays identical.
+    enable_trim: bool = True
+    trim_exec_cap: int = 48               # cap trim execs per entry
+    havoc_base_energy: int = 48
+    max_input_size: int = 1024
+    timeline_samples: int = 64            # coverage/exec timeline resolution
+
+
+@dataclass
+class TimelinePoint:
+    ns: int
+    execs: int
+    edges: int
+    unique_crashes: int
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign knows."""
+
+    mechanism: str
+    execs: int = 0
+    budget_ns: int = 0
+    elapsed_ns: int = 0
+    corpus_size: int = 0
+    edges_found: int = 0
+    unique_crashes: int = 0
+    total_crashes: int = 0
+    timeline: list[TimelinePoint] = field(default_factory=list)
+    crash_reports: list = field(default_factory=list)
+
+    @property
+    def execs_per_second(self) -> float:
+        return self.execs / (self.elapsed_ns / 1e9) if self.elapsed_ns else 0.0
+
+    def extrapolate_execs(self, horizon_ns: int) -> float:
+        """Scale observed throughput to a longer horizon (e.g. 24 h),
+        for reporting in the paper's 'test cases in 24 hours' units."""
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.execs * horizon_ns / self.elapsed_ns
+
+
+class Campaign:
+    """One coverage-guided fuzzing run against one executor."""
+
+    def __init__(self, executor: Executor, seeds: list[bytes],
+                 config: CampaignConfig | None = None):
+        self.executor = executor
+        self.seeds = [bytes(s) for s in seeds] or [b"\x00"]
+        self.config = config if config is not None else CampaignConfig()
+        self.rng = random.Random(self.config.seed)
+        self.corpus = Corpus()
+        self.virgin = VirginMap()
+        self.triage = CrashTriage()
+        self.havoc = HavocMutator(self.rng, self.config.max_input_size)
+        self.execs = 0
+        self._timeline: list[TimelinePoint] = []
+        self._next_sample_ns = 0
+        self._sample_every = max(1, self.config.budget_ns // self.config.timeline_samples)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.executor.clock
+
+    def run(self) -> CampaignResult:
+        start_ns = self.clock.now_ns
+        deadline_ns = start_ns + self.config.budget_ns
+        sample_every = max(1, self.config.budget_ns // self.config.timeline_samples)
+        self._next_sample_ns = start_ns
+
+        self._sample_every = sample_every
+        self.executor.boot()
+        self._seed_queue()
+
+        while self.clock.now_ns < deadline_ns and len(self.corpus):
+            entry = self.corpus.select_next(self.rng)
+            if self.config.enable_trim and not entry.trim_done:
+                self._trim_entry(entry, deadline_ns)
+                entry.trim_done = True
+            if self.config.enable_deterministic and not entry.det_done:
+                self._deterministic_stage(entry, deadline_ns)
+                entry.det_done = True
+            if self.clock.now_ns >= deadline_ns:
+                break
+            self._havoc_stage(entry, deadline_ns)
+
+        self.executor.shutdown()
+        return self._finish(start_ns)
+
+    # ------------------------------------------------------------------
+
+    def _seed_queue(self) -> None:
+        for seed in self.seeds:
+            result = self._execute(seed)
+            if result is None:
+                continue
+            self.virgin.observe(result.coverage)
+            self.corpus.add(
+                seed, coverage_signature(result.coverage),
+                result.ns, self.clock.now_ns,
+            )
+
+    def _trim_entry(self, entry: QueueEntry, deadline_ns: int) -> None:
+        """AFL-style trimming: delete chunks as long as the coverage
+        signature is unchanged.  Smaller entries mutate better and
+        execute faster."""
+        budget = self.config.trim_exec_cap
+        data = entry.data
+        if len(data) < 8:
+            return
+        chunk = max(4, len(data) // 8)
+        while chunk >= 4 and budget > 0:
+            offset = 0
+            while offset < len(data) and budget > 0:
+                if self.clock.now_ns >= deadline_ns:
+                    return
+                candidate = data[:offset] + data[offset + chunk:]
+                if not candidate:
+                    break
+                result = self._execute(candidate)
+                budget -= 1
+                if (
+                    result is not None
+                    and not result.is_crash
+                    and coverage_signature(result.coverage) == entry.coverage_signature
+                ):
+                    data = candidate          # chunk was irrelevant
+                else:
+                    offset += chunk
+            chunk //= 2
+        if len(data) < len(entry.data):
+            entry.data = data
+
+    def _deterministic_stage(self, entry: QueueEntry, deadline_ns: int) -> None:
+        budget = self.config.det_stage_cap
+        for mutated in deterministic_mutations(entry.data):
+            if budget <= 0 or self.clock.now_ns >= deadline_ns:
+                return
+            budget -= 1
+            self._fuzz_one(mutated, entry)
+
+    def _havoc_stage(self, entry: QueueEntry, deadline_ns: int) -> None:
+        energy = self.corpus.energy(entry, self.config.havoc_base_energy)
+        for _ in range(energy):
+            if self.clock.now_ns >= deadline_ns:
+                return
+            if len(self.corpus) > 1 and self.rng.random() < 0.15:
+                other = self.rng.choice(self.corpus.entries)
+                mutated = self.havoc.splice(entry.data, other.data)
+            else:
+                mutated = self.havoc.mutate(entry.data)
+            self._fuzz_one(mutated, entry)
+
+    def _fuzz_one(self, data: bytes, parent: QueueEntry) -> None:
+        result = self._execute(data)
+        if result is None:
+            return
+        novelty = self.virgin.observe(result.coverage)
+        if novelty == VirginMap.NEW_EDGES or (
+            novelty == VirginMap.NEW_COUNTS and self.rng.random() < 0.5
+        ):
+            self.corpus.add(
+                data, coverage_signature(result.coverage),
+                result.ns, self.clock.now_ns, parent,
+            )
+
+    def _execute(self, data: bytes) -> ExecResult | None:
+        result = self.executor.run(data)
+        self.execs += 1
+        if result.is_crash and result.trap is not None:
+            self.triage.record(result.trap, data, self.clock.now_ns)
+        self._maybe_sample(self._sample_every)
+        return result
+
+    def _maybe_sample(self, sample_every: int) -> None:
+        if self.clock.now_ns >= self._next_sample_ns:
+            self._timeline.append(
+                TimelinePoint(
+                    ns=self.clock.now_ns,
+                    execs=self.execs,
+                    edges=self.virgin.edges_found(),
+                    unique_crashes=self.triage.unique_count,
+                )
+            )
+            self._next_sample_ns = self.clock.now_ns + sample_every
+
+    def _finish(self, start_ns: int) -> CampaignResult:
+        return CampaignResult(
+            mechanism=self.executor.mechanism,
+            execs=self.execs,
+            budget_ns=self.config.budget_ns,
+            elapsed_ns=self.clock.now_ns - start_ns,
+            corpus_size=len(self.corpus),
+            edges_found=self.virgin.edges_found(),
+            unique_crashes=self.triage.unique_count,
+            total_crashes=self.triage.total_crashes,
+            timeline=self._timeline,
+            crash_reports=self.triage.reports(),
+        )

@@ -1,0 +1,87 @@
+"""AFL-style coverage-map processing.
+
+The VM's instrumented guards maintain a 64 KiB hitcount map per
+execution.  This module implements the fuzzer-side half: hitcount
+*classification* into AFL's power-of-two buckets, and the *virgin map*
+that decides whether an execution produced new behaviour (new edge, or
+a new hitcount bucket for a known edge).
+
+numpy is used for the hot full-map operations; with 65536-byte maps the
+per-exec cost is microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.interpreter import COVERAGE_MAP_SIZE
+
+#: AFL's count_class_lookup: bucket raw hitcounts into 8 classes.
+_CLASS_LOOKUP = np.zeros(256, dtype=np.uint8)
+_CLASS_LOOKUP[1] = 1
+_CLASS_LOOKUP[2] = 2
+_CLASS_LOOKUP[3] = 4
+_CLASS_LOOKUP[4:8] = 8
+_CLASS_LOOKUP[8:16] = 16
+_CLASS_LOOKUP[16:32] = 32
+_CLASS_LOOKUP[32:128] = 64
+_CLASS_LOOKUP[128:256] = 128
+
+
+def classify(raw_map: bytearray | bytes) -> np.ndarray:
+    """Bucket a raw hitcount map into AFL's 8 classes."""
+    arr = np.frombuffer(bytes(raw_map), dtype=np.uint8)
+    return _CLASS_LOOKUP[arr]
+
+
+class VirginMap:
+    """Accumulated union of all behaviour seen so far.
+
+    ``virgin`` starts all-ones (0xFF = fully unseen); observing an
+    execution clears the bits of every (edge, bucket) it exhibited —
+    AFL++'s exact bookkeeping.
+    """
+
+    NO_NEW = 0
+    NEW_COUNTS = 1
+    NEW_EDGES = 2
+
+    def __init__(self, size: int = COVERAGE_MAP_SIZE):
+        self.size = size
+        self.virgin = np.full(size, 0xFF, dtype=np.uint8)
+
+    def observe(self, raw_map: bytearray | bytes) -> int:
+        """Fold one execution in; returns NO_NEW / NEW_COUNTS / NEW_EDGES."""
+        classified = classify(raw_map)
+        new_bits = classified & self.virgin
+        if not new_bits.any():
+            return self.NO_NEW
+        # A brand-new edge is one whose virgin byte was still 0xFF.
+        new_edges = bool((new_bits[self.virgin == 0xFF]).any())
+        self.virgin &= ~classified
+        return self.NEW_EDGES if new_edges else self.NEW_COUNTS
+
+    def would_be_new(self, raw_map: bytearray | bytes) -> int:
+        """Like :meth:`observe` but without folding the map in."""
+        classified = classify(raw_map)
+        new_bits = classified & self.virgin
+        if not new_bits.any():
+            return self.NO_NEW
+        new_edges = bool((new_bits[self.virgin == 0xFF]).any())
+        return self.NEW_EDGES if new_edges else self.NEW_COUNTS
+
+    def edges_found(self) -> int:
+        """Number of map cells with at least one observed bucket."""
+        return int((self.virgin != 0xFF).sum())
+
+
+def edge_count(raw_map: bytearray | bytes) -> int:
+    """Distinct map cells hit by one execution."""
+    arr = np.frombuffer(bytes(raw_map), dtype=np.uint8)
+    return int((arr != 0).sum())
+
+
+def coverage_signature(raw_map: bytearray | bytes) -> bytes:
+    """Classified map as bytes — the per-entry signature the corpus
+    scheduler uses for favored-entry selection."""
+    return classify(raw_map).tobytes()

@@ -1,0 +1,205 @@
+"""Mutation engine: AFL++-style deterministic and havoc stages.
+
+Both execution mechanisms are driven by the *same* mutation machinery
+(paper §5.3: "configured to use the same coverage tracing and seed
+mutation mechanisms"), so the only experimental variable is process
+management.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+INTERESTING_8 = [-128, -1, 0, 1, 16, 32, 64, 100, 127]
+INTERESTING_16 = [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767]
+INTERESTING_32 = [-2147483648, -100663046, -32769, 32768, 65535, 65536,
+                  100663045, 2147483647]
+
+ARITH_MAX = 16
+HAVOC_STACK_POW = 5           # up to 2**5 stacked havoc tweaks
+MAX_INPUT_SIZE = 4096
+
+
+def deterministic_mutations(data: bytes) -> Iterator[bytes]:
+    """The deterministic stage: walking bitflips, arithmetic, and
+    interesting-value substitutions, exactly once per queue entry."""
+    if not data:
+        return
+    yield from _bitflips(data)
+    yield from _byteflips(data)
+    yield from _arith8(data)
+    yield from _interesting8(data)
+    yield from _interesting16(data)
+
+
+def _bitflips(data: bytes) -> Iterator[bytes]:
+    for bit in range(len(data) * 8):
+        out = bytearray(data)
+        out[bit // 8] ^= 0x80 >> (bit % 8)
+        yield bytes(out)
+
+
+def _byteflips(data: bytes) -> Iterator[bytes]:
+    for i in range(len(data)):
+        out = bytearray(data)
+        out[i] ^= 0xFF
+        yield bytes(out)
+
+
+def _arith8(data: bytes) -> Iterator[bytes]:
+    for i in range(len(data)):
+        original = data[i]
+        for delta in range(1, ARITH_MAX + 1):
+            for value in ((original + delta) & 0xFF, (original - delta) & 0xFF):
+                if value == original:
+                    continue
+                out = bytearray(data)
+                out[i] = value
+                yield bytes(out)
+
+
+def _interesting8(data: bytes) -> Iterator[bytes]:
+    for i in range(len(data)):
+        for value in INTERESTING_8:
+            byte = value & 0xFF
+            if byte == data[i]:
+                continue
+            out = bytearray(data)
+            out[i] = byte
+            yield bytes(out)
+
+
+def _interesting16(data: bytes) -> Iterator[bytes]:
+    for i in range(len(data) - 1):
+        for value in INTERESTING_16:
+            out = bytearray(data)
+            out[i:i + 2] = (value & 0xFFFF).to_bytes(2, "little")
+            if bytes(out) != data:
+                yield bytes(out)
+
+
+class HavocMutator:
+    """Stacked random mutations (AFL's havoc stage) plus splicing."""
+
+    def __init__(self, rng: random.Random, max_size: int = MAX_INPUT_SIZE):
+        self.rng = rng
+        self.max_size = max_size
+
+    def mutate(self, data: bytes) -> bytes:
+        out = bytearray(data if data else b"\x00")
+        operations = 1 << (1 + self.rng.randrange(HAVOC_STACK_POW))
+        for _ in range(operations):
+            self._apply_one(out)
+            if not out:
+                out = bytearray(b"\x00")
+        return bytes(out[: self.max_size])
+
+    def splice(self, first: bytes, second: bytes) -> bytes:
+        """Crossover two inputs at random split points, then havoc."""
+        if not first or not second:
+            return self.mutate(first or second)
+        split_a = self.rng.randrange(len(first))
+        split_b = self.rng.randrange(len(second))
+        return self.mutate(first[:split_a] + second[split_b:])
+
+    # -- individual havoc operations ------------------------------------
+
+    def _apply_one(self, out: bytearray) -> None:
+        choice = self.rng.randrange(12)
+        if choice == 0:
+            self._flip_bit(out)
+        elif choice == 1:
+            self._random_byte(out)
+        elif choice == 2:
+            self._arith(out)
+        elif choice == 3:
+            self._interesting(out)
+        elif choice == 4:
+            self._delete_block(out)
+        elif choice == 5:
+            self._clone_block(out)
+        elif choice == 6:
+            self._overwrite_block(out)
+        elif choice == 7:
+            self._insert_random(out)
+        elif choice == 8:
+            self._swap_words(out)
+        elif choice == 9:
+            self._truncate(out)
+        elif choice == 10:
+            self._overwrite_word(out)
+        else:
+            self._random_byte(out)
+
+    def _flip_bit(self, out: bytearray) -> None:
+        if out:
+            bit = self.rng.randrange(len(out) * 8)
+            out[bit // 8] ^= 1 << (bit % 8)
+
+    def _random_byte(self, out: bytearray) -> None:
+        if out:
+            out[self.rng.randrange(len(out))] = self.rng.randrange(256)
+
+    def _arith(self, out: bytearray) -> None:
+        if out:
+            index = self.rng.randrange(len(out))
+            delta = self.rng.randrange(1, ARITH_MAX + 1)
+            if self.rng.random() < 0.5:
+                delta = -delta
+            out[index] = (out[index] + delta) & 0xFF
+
+    def _interesting(self, out: bytearray) -> None:
+        if not out:
+            return
+        width = self.rng.choice((1, 2, 4))
+        if len(out) < width:
+            width = 1
+        index = self.rng.randrange(len(out) - width + 1)
+        pool = {1: INTERESTING_8, 2: INTERESTING_16, 4: INTERESTING_32}[width]
+        value = self.rng.choice(pool) & ((1 << (width * 8)) - 1)
+        out[index:index + width] = value.to_bytes(width, "little")
+
+    def _delete_block(self, out: bytearray) -> None:
+        if len(out) > 1:
+            length = self.rng.randrange(1, max(2, len(out) // 2))
+            start = self.rng.randrange(len(out) - length + 1)
+            del out[start:start + length]
+
+    def _clone_block(self, out: bytearray) -> None:
+        if out and len(out) < self.max_size:
+            length = self.rng.randrange(1, min(len(out), 32) + 1)
+            start = self.rng.randrange(len(out) - length + 1)
+            insert_at = self.rng.randrange(len(out) + 1)
+            out[insert_at:insert_at] = out[start:start + length]
+
+    def _overwrite_block(self, out: bytearray) -> None:
+        if len(out) > 1:
+            length = self.rng.randrange(1, min(len(out), 32) + 1)
+            src = self.rng.randrange(len(out) - length + 1)
+            dst = self.rng.randrange(len(out) - length + 1)
+            out[dst:dst + length] = out[src:src + length]
+
+    def _insert_random(self, out: bytearray) -> None:
+        if len(out) < self.max_size:
+            length = self.rng.randrange(1, 16)
+            blob = bytes(self.rng.randrange(256) for _ in range(length))
+            insert_at = self.rng.randrange(len(out) + 1)
+            out[insert_at:insert_at] = blob
+
+    def _swap_words(self, out: bytearray) -> None:
+        if len(out) >= 4:
+            a = self.rng.randrange(len(out) - 1)
+            b = self.rng.randrange(len(out) - 1)
+            out[a:a + 2], out[b:b + 2] = out[b:b + 2], out[a:a + 2]
+
+    def _truncate(self, out: bytearray) -> None:
+        if len(out) > 4:
+            keep = self.rng.randrange(2, len(out))
+            del out[keep:]
+
+    def _overwrite_word(self, out: bytearray) -> None:
+        if len(out) >= 4:
+            index = self.rng.randrange(len(out) - 3)
+            value = self.rng.randrange(1 << 32)
+            out[index:index + 4] = value.to_bytes(4, "little")

@@ -1,0 +1,73 @@
+"""Crash triage: deduplication and bug bookkeeping.
+
+Crashes are deduplicated by trap identity — (trap kind, function,
+basic block) — which approximates AFL++'s coverage-signature dedup but
+with the ground truth our VM can actually provide.  The targets'
+planted-bug manifests map trap sites back to stable bug ids so the
+time-to-bug experiment (Table 7) can report per-bug first-discovery
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.errors import TrapKind, VMTrap
+
+CrashIdentity = tuple[TrapKind, str, str]
+
+
+@dataclass
+class CrashReport:
+    """First occurrence of one deduplicated crash."""
+
+    identity: CrashIdentity
+    trap: VMTrap
+    input_data: bytes
+    found_at_ns: int
+    occurrences: int = 1
+
+    @property
+    def kind(self) -> TrapKind:
+        return self.identity[0]
+
+    @property
+    def function(self) -> str:
+        return self.identity[1]
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value} in @{self.function} "
+            f"(block %{self.identity[2]}, first at {self.found_at_ns / 1e9:.3f} vs)"
+        )
+
+
+class CrashTriage:
+    """Collects and deduplicates crashes during a campaign."""
+
+    def __init__(self) -> None:
+        self.unique: dict[CrashIdentity, CrashReport] = {}
+        self.total_crashes = 0
+
+    def record(self, trap: VMTrap, input_data: bytes, now_ns: int) -> CrashReport | None:
+        """Record a crash; returns the report if it is a *new* bug."""
+        self.total_crashes += 1
+        identity = trap.identity()
+        existing = self.unique.get(identity)
+        if existing is not None:
+            existing.occurrences += 1
+            return None
+        report = CrashReport(identity, trap, input_data, now_ns)
+        self.unique[identity] = report
+        return report
+
+    @property
+    def unique_count(self) -> int:
+        return len(self.unique)
+
+    def reports(self) -> list[CrashReport]:
+        return sorted(self.unique.values(), key=lambda r: r.found_at_ns)
+
+    def first_hit_ns(self, identity: CrashIdentity) -> int | None:
+        report = self.unique.get(identity)
+        return report.found_at_ns if report is not None else None

@@ -1,0 +1,120 @@
+"""Control-flow-graph utilities over MiniIR functions.
+
+Used by the verifier (reachability), the CoveragePass (edge
+enumeration), and the experiments (edge-universe size for coverage
+percentages, matching the paper's edge-coverage metric).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ir.module import BasicBlock, Function, Module
+
+Edge = tuple[BasicBlock, BasicBlock]
+
+
+def successors(block: BasicBlock) -> list[BasicBlock]:
+    return block.successors()
+
+
+def predecessors(function: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    if function.is_declaration:
+        return set()
+    seen: set[BasicBlock] = {function.entry_block}
+    queue: deque[BasicBlock] = deque([function.entry_block])
+    while queue:
+        block = queue.popleft()
+        for succ in block.successors():
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+def function_edges(function: Function) -> list[Edge]:
+    """All CFG edges of a function, in deterministic order."""
+    edges: list[Edge] = []
+    for block in function.blocks:
+        for succ in block.successors():
+            edges.append((block, succ))
+    return edges
+
+
+def module_edges(module: Module) -> list[Edge]:
+    edges: list[Edge] = []
+    for function in module.defined_functions():
+        edges.extend(function_edges(function))
+    return edges
+
+
+def edge_count(module: Module) -> int:
+    """Size of the static edge universe (denominator of edge coverage)."""
+    return len(module_edges(module))
+
+
+def call_site_count(module: Module) -> int:
+    """Number of call instructions to *defined* functions.
+
+    Each such call adds up to two dynamic edge-map pairs (entry into
+    the callee, return back into the caller) on top of the static CFG
+    edges, so the coverage experiments size their edge universe as
+    ``edge_count + 2 * call_site_count``.
+    """
+    from repro.ir.instructions import Call
+
+    count = 0
+    for function in module.defined_functions():
+        for inst in function.instructions():
+            if isinstance(inst, Call):
+                callee = inst.callee
+                if isinstance(callee, Function) and not callee.is_declaration:
+                    count += 1
+    return count
+
+
+def block_ids(module: Module) -> dict[BasicBlock, int]:
+    """Assign a stable, deterministic integer id to every block."""
+    ids: dict[BasicBlock, int] = {}
+    next_id = 0
+    for function in module.defined_functions():
+        for block in function.blocks:
+            ids[block] = next_id
+            next_id += 1
+    return ids
+
+
+def topological_order(function: Function) -> list[BasicBlock]:
+    """Reverse-post-order over the CFG (loops broken arbitrarily)."""
+    order: list[BasicBlock] = []
+    visited: set[BasicBlock] = set()
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        visited.add(block)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if not function.is_declaration:
+        visit(function.entry_block)
+    order.reverse()
+    return order

@@ -1,0 +1,42 @@
+"""Textual printer for MiniIR (LLVM-assembly-flavoured output).
+
+The printer exists for debugging, golden tests, and documentation; the
+VM executes the in-memory form directly.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Function, Module
+
+
+def print_function(function: Function) -> str:
+    if function.is_declaration:
+        proto = ", ".join(str(t) for t in function.function_type.params)
+        return f"declare {function.return_type} @{function.name}({proto})"
+    proto = ", ".join(
+        f"{arg.type} %{arg.name}" for arg in function.args
+    )
+    header = f"{function.return_type} @{function.name}({proto})"
+    lines = [f"define {header} {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts: list[str] = [f"; ModuleID = '{module.name}'"]
+    if module.structs:
+        parts.append("")
+        for struct in module.structs.values():
+            parts.append(struct.describe())
+    if module.globals:
+        parts.append("")
+        for var in module.globals.values():
+            parts.append(str(var))
+    for function in module.functions.values():
+        parts.append("")
+        parts.append(print_function(function))
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,123 @@
+"""Structural verifier for MiniIR modules.
+
+Passes are required to leave modules in a verifiable state; the test
+suite runs the verifier after every transformation, which is how we
+catch pass bugs early (LLVM's ``-verify`` discipline).
+"""
+
+from __future__ import annotations
+
+from repro.ir import cfg
+from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.module import Function, Module
+from repro.ir.values import Argument, Constant, GlobalValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates MiniIR structural invariants."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = errors
+        super().__init__("; ".join(errors))
+
+
+class Verifier:
+    """Collects structural errors over a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.errors: list[str] = []
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def run(self) -> list[str]:
+        self._check_symbols()
+        for function in self.module.defined_functions():
+            self._check_function(function)
+        return self.errors
+
+    # -- module level ---------------------------------------------------
+
+    def _check_symbols(self) -> None:
+        for name, func in self.module.functions.items():
+            if func.name != name:
+                self.error(f"function table key {name!r} != function name {func.name!r}")
+        for name, var in self.module.globals.items():
+            if var.name != name:
+                self.error(f"global table key {name!r} != global name {var.name!r}")
+            if var.is_constant and var.section == "closure_global_section":
+                self.error(f"constant global @{name} placed in closure_global_section")
+
+    # -- function level ---------------------------------------------------
+
+    def _check_function(self, function: Function) -> None:
+        where = f"@{function.name}"
+        if len(function.args) != len(function.function_type.params):
+            self.error(f"{where}: has {len(function.args)} args for "
+                       f"{len(function.function_type.params)} params")
+        if not function.blocks:
+            return
+        names = [b.name for b in function.blocks]
+        if len(set(names)) != len(names):
+            self.error(f"{where}: duplicate block names")
+
+        defined: set[int] = {id(a) for a in function.args}
+        preds = cfg.predecessors(function)
+        for block in function.blocks:
+            self._check_block(function, block, defined, preds)
+
+    def _check_block(self, function, block, defined: set[int], preds) -> None:
+        where = f"@{function.name}:%{block.name}"
+        if not block.instructions:
+            self.error(f"{where}: empty block")
+            return
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            self.error(f"{where}: missing terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                self.error(f"{where}: terminator in the middle of the block")
+            if inst.parent is not block:
+                self.error(f"{where}: instruction parent link broken: {inst}")
+            if isinstance(inst, Phi):
+                self._check_phi(where, block, inst, preds)
+                if i > 0 and not isinstance(block.instructions[i - 1], Phi):
+                    self.error(f"{where}: phi not grouped at block start")
+            self._check_operands(where, inst, defined)
+            if not inst.type.is_void:
+                defined.add(id(inst))
+
+    def _check_phi(self, where: str, block, phi: Phi, preds) -> None:
+        incoming_blocks = {id(b) for b in phi.incoming_blocks}
+        pred_blocks = {id(b) for b in preds[block]}
+        if incoming_blocks != pred_blocks:
+            self.error(f"{where}: phi incoming blocks do not match predecessors")
+
+    def _check_operands(self, where: str, inst: Instruction, defined: set[int]) -> None:
+        for index, op in enumerate(inst.operands):
+            if isinstance(op, (Constant, GlobalValue, Argument)):
+                continue
+            if isinstance(op, Instruction):
+                if id(op) not in defined and not isinstance(inst, Phi):
+                    self.error(
+                        f"{where}: operand {index} of '{inst}' used before definition"
+                    )
+                if op.parent is None:
+                    self.error(f"{where}: operand {index} of '{inst}' is detached")
+                continue
+            self.error(f"{where}: unexpected operand kind {type(op).__name__}")
+        if isinstance(inst, Call):
+            callee = inst.callee
+            if isinstance(callee, Function) and callee.module is not None:
+                if callee.module.functions.get(callee.name) is not callee:
+                    self.error(
+                        f"{where}: call to @{callee.name} not registered in its module"
+                    )
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` if *module* is malformed."""
+    errors = Verifier(module).run()
+    if errors:
+        raise VerificationError(errors)

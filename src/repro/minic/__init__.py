@@ -1,0 +1,25 @@
+"""MiniC: the C-subset front-end used to author benchmark targets.
+
+The ten fuzzing targets (`repro.targets`) are written in MiniC source,
+compiled by :func:`compile_c` into MiniIR modules, instrumented by the
+ClosureX / baseline pass pipelines, and executed in the MiniVM — the
+same build flow the paper uses with clang/LLVM on real C programs.
+"""
+
+from repro.minic.codegen import CodeGenerator, compile_c
+from repro.minic.errors import LexError, MiniCError, ParseError, SemanticError
+from repro.minic.lexer import Token, TokenKind, tokenize
+from repro.minic.parser import parse
+
+__all__ = [
+    "CodeGenerator",
+    "compile_c",
+    "LexError",
+    "MiniCError",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+]

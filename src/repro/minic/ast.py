@@ -1,0 +1,282 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic.errors import SourceLocation
+
+
+# ---------------------------------------------------------------------------
+# type specifiers (resolved to MiniIR types during codegen)
+# ---------------------------------------------------------------------------
+
+
+class TypeSpec:
+    """Base class for syntactic type references."""
+
+
+@dataclass
+class NamedType(TypeSpec):
+    """A builtin scalar type: void, char, short, int, long (+unsigned)."""
+
+    name: str
+    unsigned: bool = False
+
+    def __str__(self) -> str:
+        return f"unsigned {self.name}" if self.unsigned else self.name
+
+
+@dataclass
+class StructRef(TypeSpec):
+    """``struct Name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass
+class PointerTo(TypeSpec):
+    inner: TypeSpec
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+@dataclass
+class ArrayOf(TypeSpec):
+    inner: TypeSpec
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.inner}[{self.count}]"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    location: SourceLocation
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class StringLit(Expr):
+    data: bytes
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix operators: - ! ~ * & ++ --"""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Postfix(Expr):
+    """Postfix ++ / --."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value`` where op may be empty (plain assignment)."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    """``base.name`` or ``base->name``."""
+
+    base: Expr
+    name: str
+    arrow: bool
+
+
+@dataclass
+class CastExpr(Expr):
+    target: TypeSpec
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    target: TypeSpec
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    location: SourceLocation
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    type: TypeSpec
+    init: Expr | None
+
+
+@dataclass
+class DeclGroup(Stmt):
+    """Several declarators from one statement (``int a, b;``) — unlike
+    a Block, it does not open a scope."""
+
+    decls: list[VarDecl]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class SwitchCase:
+    values: list[int]      # empty list == default
+    body: list[Stmt]
+
+
+@dataclass
+class Switch(Stmt):
+    value: Expr
+    cases: list[SwitchCase]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+# ---------------------------------------------------------------------------
+# top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: list[tuple[str, TypeSpec]]
+    location: SourceLocation
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type: TypeSpec
+    init: Expr | None
+    const: bool
+    location: SourceLocation
+
+
+@dataclass
+class Param:
+    name: str
+    type: TypeSpec
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    return_type: TypeSpec
+    params: list[Param]
+    body: Block | None
+    location: SourceLocation
+
+
+@dataclass
+class TranslationUnit:
+    structs: list[StructDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

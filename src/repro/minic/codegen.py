@@ -1,0 +1,890 @@
+"""MiniC -> MiniIR code generator.
+
+Lowering follows the clang ``-O0`` playbook: every local lives in an
+``alloca`` slot, expressions load/store through those slots, and
+control flow is emitted as explicit basic blocks — no SSA construction
+is attempted.  This keeps the generated IR trivially correct and makes
+the ClosureX passes operate on realistic-looking unoptimised IR.
+
+Deviations from ISO C (documented, deliberate):
+
+- ``char`` is unsigned (as with ``-funsigned-char``); format parsers
+  overwhelmingly want byte semantics.
+- Pointer globals cannot be initialised with addresses; initialise in
+  code (there is no relocation machinery in the MiniVM loader).
+- Aggregate initialisers are not supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    int_type,
+    pointer_type,
+)
+from repro.ir.values import (
+    ConstantData,
+    ConstantInt,
+    ConstantNull,
+    Value,
+)
+from repro.minic import ast
+from repro.minic.errors import SemanticError
+from repro.minic.parser import fold_const, parse
+from repro.vm.libc import LIBC_SIGNATURES
+
+_SCALARS: dict[str, tuple[int, bool]] = {
+    # name -> (bits, default signedness)
+    "char": (8, False),   # unsigned char semantics
+    "short": (16, True),
+    "int": (32, True),
+    "long": (64, True),
+}
+
+
+@dataclass(frozen=True)
+class CType:
+    """An IR type plus the C-level signedness MiniIR doesn't carry."""
+
+    ir: Type
+    signed: bool = True
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self.ir, IntType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self.ir, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.ir, ArrayType)
+
+
+I32_C = CType(int_type(32), True)
+I64_C = CType(int_type(64), True)
+BOOL_C = CType(int_type(32), True)
+
+
+@dataclass
+class RValue:
+    """A computed expression value."""
+
+    value: Value
+    ctype: CType
+
+
+@dataclass
+class LValue:
+    """An addressable location: pointer value + element type."""
+
+    address: Value
+    ctype: CType
+
+
+@dataclass
+class _LoopContext:
+    break_block: BasicBlock
+    continue_block: BasicBlock | None
+
+
+class _Materialised(ast.Expr):
+    """Wraps an already-computed :class:`RValue` so it can re-enter the
+    expression emitter (compound assignment evaluates its operands once
+    and then reuses them as a synthetic binary expression)."""
+
+    def __init__(self, value: RValue):
+        super().__init__(None)  # type: ignore[arg-type]
+        self.rvalue = value
+
+
+class CodeGenerator:
+    """Lowers one translation unit into a fresh MiniIR module."""
+
+    def __init__(self, unit: ast.TranslationUnit, module_name: str):
+        self.unit = unit
+        self.module = Module(module_name)
+        self.builder = IRBuilder()
+        self.globals: dict[str, CType] = {}
+        self.locals: list[dict[str, LValue]] = []
+        self.functions: dict[str, tuple[CType, list[CType]]] = {}
+        self.loop_stack: list[_LoopContext] = []
+        self.current_return: CType | None = None
+        self._string_counter = 0
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Module:
+        for name, signature in LIBC_SIGNATURES.items():
+            self.module.declare_function(name, signature)
+            self.functions[name] = (
+                CType(signature.return_type),
+                [CType(p) for p in signature.params],
+            )
+        for struct in self.unit.structs:
+            self._declare_struct(struct)
+        for decl in self.unit.globals:
+            self._emit_global(decl)
+        # Two passes over functions so forward references work.
+        for func in self.unit.functions:
+            self._declare_function(func)
+        for func in self.unit.functions:
+            if func.body is not None:
+                self._emit_function(func)
+        return self.module
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def resolve(self, spec: ast.TypeSpec, location=None) -> CType:
+        if isinstance(spec, ast.NamedType):
+            if spec.name == "void":
+                return CType(VOID)
+            bits, signed = _SCALARS[spec.name]
+            if spec.unsigned:
+                signed = False
+            return CType(int_type(bits), signed)
+        if isinstance(spec, ast.PointerTo):
+            inner = self.resolve(spec.inner, location)
+            return CType(pointer_type(inner.ir), False)
+        if isinstance(spec, ast.ArrayOf):
+            inner = self.resolve(spec.inner, location)
+            return CType(ArrayType(inner.ir, spec.count), inner.signed)
+        if isinstance(spec, ast.StructRef):
+            if spec.name not in self.module.structs:
+                raise SemanticError(f"unknown struct {spec.name!r}", location)
+            return CType(self.module.get_struct(spec.name))
+        raise SemanticError(f"unsupported type {spec!r}", location)
+
+    def _declare_struct(self, decl: ast.StructDecl) -> None:
+        # Register the name first so fields may point to the struct
+        # itself (struct Node { struct Node *next; }).
+        struct = self.module.add_struct(StructType(decl.name, []))
+        fields = []
+        for fname, fspec in decl.fields:
+            fields.append((fname, self.resolve(fspec, decl.location).ir))
+        struct.set_fields(fields)
+
+    # ------------------------------------------------------------------
+    # globals
+    # ------------------------------------------------------------------
+
+    def _emit_global(self, decl: ast.GlobalDecl) -> None:
+        ctype = self.resolve(decl.type, decl.location)
+        initializer = None
+        if decl.init is not None:
+            if isinstance(decl.init, ast.StringLit):
+                if not isinstance(ctype.ir, ArrayType) or ctype.ir.element != int_type(8):
+                    raise SemanticError(
+                        "string initialiser requires a char array", decl.location
+                    )
+                data = decl.init.data
+                if len(data) + 1 > ctype.ir.size():
+                    raise SemanticError("string initialiser too long", decl.location)
+                initializer = ConstantData(
+                    ctype.ir, data + bytes(ctype.ir.size() - len(data))
+                )
+            else:
+                value = fold_const(decl.init)
+                if value is None:
+                    raise SemanticError(
+                        "global initialiser must be a constant", decl.location
+                    )
+                if not isinstance(ctype.ir, IntType):
+                    raise SemanticError(
+                        "non-integer global initialiser unsupported", decl.location
+                    )
+                initializer = ConstantInt(ctype.ir, value)
+        self.module.add_global(decl.name, ctype.ir, initializer, is_constant=decl.const)
+        self.globals[decl.name] = ctype
+
+    def _intern_string(self, data: bytes) -> Value:
+        """Materialise a string literal as a const global; return i8*."""
+        self._string_counter += 1
+        name = f".str{self._string_counter}"
+        array = ArrayType(int_type(8), len(data) + 1)
+        var = self.module.add_global(
+            name, array, ConstantData(array, data + b"\x00"), is_constant=True
+        )
+        return self.builder.gep(var, [self.builder.i64(0), self.builder.i64(0)])
+
+    # ------------------------------------------------------------------
+    # functions
+    # ------------------------------------------------------------------
+
+    def _declare_function(self, func: ast.FuncDecl) -> None:
+        ret = self.resolve(func.return_type, func.location)
+        params = [self.resolve(p.type, func.location) for p in func.params]
+        signature = FunctionType(ret.ir, [p.ir for p in params])
+        if func.name in self.functions:
+            if self.module.has_function(func.name):
+                existing = self.module.get_function(func.name)
+                if existing.function_type != signature:
+                    raise SemanticError(
+                        f"conflicting declaration of {func.name}", func.location
+                    )
+        else:
+            self.module.add_function(func.name, signature)
+            self.functions[func.name] = (ret, params)
+
+    def _emit_function(self, func: ast.FuncDecl) -> None:
+        function = self.module.get_function(func.name)
+        if not function.is_declaration:
+            raise SemanticError(f"redefinition of {func.name}", func.location)
+        function.ensure_args([p.name for p in func.params])
+        entry = function.append_block("entry")
+        self.builder.position_at_end(entry)
+        self.current_return, param_types = self.functions[func.name]
+        self.locals = [{}]
+        for arg, param, ctype in zip(function.args, func.params, param_types):
+            slot = self.builder.alloca(ctype.ir, name=f"{param.name}.addr")
+            self.builder.store(arg, slot)
+            self.locals[-1][param.name] = LValue(slot, ctype)
+        self._emit_block(func.body)
+        self._terminate_function()
+        self.locals = []
+
+    def _terminate_function(self) -> None:
+        block = self.builder.block
+        if block is not None and not block.is_terminated:
+            ret = self.current_return
+            if ret is None or ret.ir.is_void:
+                self.builder.ret()
+            elif isinstance(ret.ir, IntType):
+                self.builder.ret(ConstantInt(ret.ir, 0))
+            else:
+                self.builder.ret(ConstantNull(ret.ir))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _emit_block(self, block: ast.Block) -> None:
+        self.locals.append({})
+        for stmt in block.statements:
+            self._emit_statement(stmt)
+            if self.builder.block is not None and self.builder.block.is_terminated:
+                break  # dead code after return/break/continue is dropped
+        self.locals.pop()
+
+    def _emit_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._emit_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit_expr(stmt.expr)
+        elif isinstance(stmt, ast.VarDecl):
+            self._emit_var_decl(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._emit_var_decl(decl)
+        elif isinstance(stmt, ast.If):
+            self._emit_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._emit_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._emit_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._emit_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._emit_switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise SemanticError("break outside loop/switch", stmt.location)
+            self.builder.br(self.loop_stack[-1].break_block)
+        elif isinstance(stmt, ast.Continue):
+            target = next(
+                (c.continue_block for c in reversed(self.loop_stack)
+                 if c.continue_block is not None),
+                None,
+            )
+            if target is None:
+                raise SemanticError("continue outside loop", stmt.location)
+            self.builder.br(target)
+        elif isinstance(stmt, ast.Return):
+            self._emit_return(stmt)
+        else:  # pragma: no cover - AST is closed
+            raise SemanticError(f"unsupported statement {stmt!r}", stmt.location)
+
+    def _entry_alloca(self, ir_type, hint: str):
+        """Place an alloca in the function's entry block (clang -O0
+        style): entry dominates everything, and locals declared inside
+        loops must not re-allocate per iteration."""
+        from repro.ir.instructions import Alloca
+
+        function = self.builder.function
+        inst = Alloca(ir_type, 1)
+        inst.set_name(function.next_value_name(hint or "slot"))
+        function.entry_block.insert(0, inst)
+        return inst
+
+    def _emit_var_decl(self, stmt: ast.VarDecl) -> None:
+        ctype = self.resolve(stmt.type, stmt.location)
+        slot = self._entry_alloca(ctype.ir, stmt.name)
+        self.locals[-1][stmt.name] = LValue(slot, ctype)
+        if stmt.init is None:
+            return
+        if isinstance(stmt.init, ast.StringLit) and isinstance(ctype.ir, ArrayType):
+            # char buf[N] = "..." — copy the literal into the array.
+            literal = self._intern_string_bytes_global(stmt.init.data, ctype.ir.count,
+                                                       stmt.location)
+            dst = self.builder.gep(slot, [self.builder.i64(0), self.builder.i64(0)])
+            memcpy = self.module.get_function("memcpy")
+            self.builder.call(memcpy, [dst, literal, self.builder.i64(ctype.ir.count)])
+            return
+        value = self._emit_expr(stmt.init)
+        self.builder.store(self._convert(value, ctype, stmt.location).value, slot)
+
+    def _intern_string_bytes_global(self, data: bytes, count: int, location) -> Value:
+        if len(data) + 1 > count:
+            raise SemanticError("string initialiser too long", location)
+        self._string_counter += 1
+        name = f".str{self._string_counter}"
+        array = ArrayType(int_type(8), count)
+        var = self.module.add_global(
+            name, array, ConstantData(array, data + bytes(count - len(data))),
+            is_constant=True,
+        )
+        return self.builder.gep(var, [self.builder.i64(0), self.builder.i64(0)])
+
+    def _emit_if(self, stmt: ast.If) -> None:
+        cond = self._emit_condition(stmt.cond)
+        then_block = self.builder.append_block("if.then")
+        merge_block = self.builder.append_block("if.end")
+        else_block = merge_block
+        if stmt.else_body is not None:
+            else_block = self.builder.append_block("if.else")
+        self.builder.cond_br(cond, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self._emit_statement(stmt.then_body)
+        if not self.builder.block.is_terminated:
+            self.builder.br(merge_block)
+
+        if stmt.else_body is not None:
+            self.builder.position_at_end(else_block)
+            self._emit_statement(stmt.else_body)
+            if not self.builder.block.is_terminated:
+                self.builder.br(merge_block)
+
+        self.builder.position_at_end(merge_block)
+
+    def _emit_while(self, stmt: ast.While) -> None:
+        cond_block = self.builder.append_block("while.cond")
+        body_block = self.builder.append_block("while.body")
+        end_block = self.builder.append_block("while.end")
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        cond = self._emit_condition(stmt.cond)
+        self.builder.cond_br(cond, body_block, end_block)
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(end_block, cond_block))
+        self._emit_statement(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(cond_block)
+        self.builder.position_at_end(end_block)
+
+    def _emit_do_while(self, stmt: ast.DoWhile) -> None:
+        body_block = self.builder.append_block("do.body")
+        cond_block = self.builder.append_block("do.cond")
+        end_block = self.builder.append_block("do.end")
+        self.builder.br(body_block)
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(end_block, cond_block))
+        self._emit_statement(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        cond = self._emit_condition(stmt.cond)
+        self.builder.cond_br(cond, body_block, end_block)
+        self.builder.position_at_end(end_block)
+
+    def _emit_for(self, stmt: ast.For) -> None:
+        self.locals.append({})
+        if stmt.init is not None:
+            self._emit_statement(stmt.init)
+        cond_block = self.builder.append_block("for.cond")
+        body_block = self.builder.append_block("for.body")
+        step_block = self.builder.append_block("for.step")
+        end_block = self.builder.append_block("for.end")
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        if stmt.cond is not None:
+            cond = self._emit_condition(stmt.cond)
+            self.builder.cond_br(cond, body_block, end_block)
+        else:
+            self.builder.br(body_block)
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(end_block, step_block))
+        self._emit_statement(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(step_block)
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self._emit_expr(stmt.step)
+        self.builder.br(cond_block)
+        self.builder.position_at_end(end_block)
+        self.locals.pop()
+
+    def _emit_switch(self, stmt: ast.Switch) -> None:
+        value = self._rvalue_int(self._emit_expr(stmt.value), stmt.location)
+        end_block = self.builder.append_block("switch.end")
+        case_blocks = [
+            self.builder.append_block(f"switch.case{i}")
+            for i in range(len(stmt.cases))
+        ]
+        default_block = end_block
+        switch = self.builder.switch(value.value, default_block)
+        assert isinstance(value.ctype.ir, IntType)
+        for case, block in zip(stmt.cases, case_blocks):
+            if not case.values:
+                switch.default = block
+            for case_value in case.values:
+                switch.add_case(case_value, block)
+        self.loop_stack.append(_LoopContext(end_block, None))
+        for i, (case, block) in enumerate(zip(stmt.cases, case_blocks)):
+            self.builder.position_at_end(block)
+            for sub in case.body:
+                self._emit_statement(sub)
+                if self.builder.block.is_terminated:
+                    break
+            if not self.builder.block.is_terminated:
+                # C fallthrough into the next case (or the end).
+                next_block = case_blocks[i + 1] if i + 1 < len(case_blocks) else end_block
+                self.builder.br(next_block)
+        self.loop_stack.pop()
+        self.builder.position_at_end(end_block)
+
+    def _emit_return(self, stmt: ast.Return) -> None:
+        ret = self.current_return
+        if stmt.value is None:
+            if ret is not None and not ret.ir.is_void:
+                raise SemanticError("return without a value", stmt.location)
+            self.builder.ret()
+            return
+        value = self._emit_expr(stmt.value)
+        assert ret is not None
+        self.builder.ret(self._convert(value, ret, stmt.location).value)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _emit_expr(self, expr: ast.Expr) -> RValue:
+        if isinstance(expr, _Materialised):
+            return expr.rvalue
+        if isinstance(expr, ast.IntLit):
+            value = expr.value
+            if -(1 << 31) <= value < (1 << 31):
+                ctype = CType(int_type(32), True)
+            elif value < (1 << 32):
+                # Hex-style literals that don't fit in int are unsigned,
+                # as in C — they must zero-extend when widened.
+                ctype = CType(int_type(32), False)
+            elif -(1 << 63) <= value < (1 << 63):
+                ctype = CType(int_type(64), True)
+            else:
+                ctype = CType(int_type(64), False)
+            assert isinstance(ctype.ir, IntType)
+            return RValue(ConstantInt(ctype.ir, value), ctype)
+        if isinstance(expr, ast.StringLit):
+            return RValue(self._intern_string(expr.data), CType(pointer_type(int_type(8)), False))
+        if isinstance(expr, ast.Ident):
+            return self._load_lvalue(self._emit_lvalue(expr))
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return self._load_lvalue(self._emit_lvalue(expr))
+        if isinstance(expr, ast.Unary):
+            return self._emit_unary(expr)
+        if isinstance(expr, ast.Postfix):
+            return self._emit_incdec(expr.operand, expr.op, prefix=False,
+                                     location=expr.location)
+        if isinstance(expr, ast.Binary):
+            return self._emit_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._emit_assign(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._emit_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._emit_call(expr)
+        if isinstance(expr, ast.CastExpr):
+            return self._emit_cast(expr)
+        if isinstance(expr, ast.SizeOf):
+            ctype = self.resolve(expr.target, expr.location)
+            return RValue(self.builder.i64(ctype.ir.size()), I64_C)
+        raise SemanticError(f"unsupported expression {expr!r}", expr.location)
+
+    # -- lvalues --------------------------------------------------------
+
+    def _emit_lvalue(self, expr: ast.Expr) -> LValue:
+        if isinstance(expr, ast.Ident):
+            for scope in reversed(self.locals):
+                if expr.name in scope:
+                    return scope[expr.name]
+            if expr.name in self.globals:
+                return LValue(self.module.get_global(expr.name), self.globals[expr.name])
+            raise SemanticError(f"undeclared identifier {expr.name!r}", expr.location)
+        if isinstance(expr, ast.Index):
+            base = self._emit_lvalue_or_pointer(expr.base)
+            index = self._rvalue_int(self._emit_expr(expr.index), expr.location)
+            index64 = self.builder.resize_int(index.value, int_type(64),
+                                              index.ctype.signed)
+            if base.ctype.is_array:
+                array = base.ctype.ir
+                assert isinstance(array, ArrayType)
+                address = self.builder.gep(base.address, [self.builder.i64(0), index64])
+                return LValue(address, CType(array.element, base.ctype.signed))
+            pointer = base.ctype.ir
+            assert isinstance(pointer, PointerType)
+            address = self.builder.gep(base.address, [index64])
+            return LValue(address, self._pointee_ctype(pointer))
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base_value = self._emit_expr(expr.base)
+                if not base_value.ctype.is_pointer:
+                    raise SemanticError("-> requires a pointer", expr.location)
+                pointer = base_value.ctype.ir
+                assert isinstance(pointer, PointerType)
+                struct = pointer.pointee
+                base_address = base_value.value
+            else:
+                base_lvalue = self._emit_lvalue(expr.base)
+                struct = base_lvalue.ctype.ir
+                base_address = base_lvalue.address
+            if not isinstance(struct, StructType):
+                raise SemanticError("member access on non-struct", expr.location)
+            field_index = struct.field_index(expr.name)
+            address = self.builder.struct_gep(base_address, field_index)
+            return LValue(address, self._field_ctype(struct, field_index))
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            value = self._emit_expr(expr.operand)
+            if not value.ctype.is_pointer:
+                raise SemanticError("cannot dereference non-pointer", expr.location)
+            pointer = value.ctype.ir
+            assert isinstance(pointer, PointerType)
+            return LValue(value.value, self._pointee_ctype(pointer))
+        raise SemanticError("expression is not assignable", expr.location)
+
+    def _emit_lvalue_or_pointer(self, expr: ast.Expr) -> LValue:
+        """For indexing: lvalue if addressable, else materialise pointer rvalue."""
+        try:
+            lvalue = self._emit_lvalue(expr)
+        except SemanticError:
+            value = self._emit_expr(expr)
+            if not value.ctype.is_pointer:
+                raise
+            # Wrap: address holds the pointer value itself; mark with
+            # pointer ctype so Index treats it as pointer arithmetic.
+            return LValue(value.value, value.ctype)
+        if lvalue.ctype.is_pointer:
+            # Indexing through a pointer variable: load the pointer first.
+            loaded = self.builder.load(lvalue.address)
+            return LValue(loaded, lvalue.ctype)
+        return lvalue
+
+    def _pointee_ctype(self, pointer: PointerType) -> CType:
+        pointee = pointer.pointee
+        if isinstance(pointee, IntType):
+            # Default signedness rule: bytes unsigned, wider ints signed.
+            return CType(pointee, pointee.bits > 8)
+        return CType(pointee, False)
+
+    def _field_ctype(self, struct: StructType, index: int) -> CType:
+        ftype = struct.field_type(index)
+        if isinstance(ftype, IntType):
+            return CType(ftype, ftype.bits > 8)
+        return CType(ftype, False)
+
+    def _load_lvalue(self, lvalue: LValue) -> RValue:
+        if lvalue.ctype.is_array:
+            # Array-to-pointer decay.
+            array = lvalue.ctype.ir
+            assert isinstance(array, ArrayType)
+            address = self.builder.gep(
+                lvalue.address, [self.builder.i64(0), self.builder.i64(0)]
+            )
+            return RValue(address, CType(pointer_type(array.element), False))
+        if isinstance(lvalue.ctype.ir, StructType):
+            raise SemanticError("whole-struct loads are unsupported; use fields", None)
+        return RValue(self.builder.load(lvalue.address), lvalue.ctype)
+
+    # -- conversions ------------------------------------------------------
+
+    def _convert(self, value: RValue, target: CType, location) -> RValue:
+        if value.ctype.ir == target.ir:
+            return RValue(value.value, target)
+        if value.ctype.is_int and target.is_int:
+            assert isinstance(target.ir, IntType)
+            converted = self.builder.resize_int(
+                value.value, target.ir, value.ctype.signed
+            )
+            return RValue(converted, target)
+        if value.ctype.is_pointer and target.is_pointer:
+            return RValue(self.builder.bitcast(value.value, target.ir), target)
+        if value.ctype.is_int and target.is_pointer:
+            if isinstance(value.value, ConstantInt) and value.value.value == 0:
+                assert isinstance(target.ir, PointerType)
+                return RValue(ConstantNull(target.ir), target)
+            widened = self.builder.resize_int(value.value, int_type(64),
+                                              value.ctype.signed)
+            return RValue(self.builder.inttoptr(widened, target.ir), target)
+        if value.ctype.is_pointer and target.is_int:
+            assert isinstance(target.ir, IntType)
+            as_int = self.builder.ptrtoint(value.value, int_type(64))
+            return RValue(
+                self.builder.resize_int(as_int, target.ir, False), target
+            )
+        raise SemanticError(
+            f"cannot convert {value.ctype.ir} to {target.ir}", location
+        )
+
+    def _rvalue_int(self, value: RValue, location) -> RValue:
+        if not value.ctype.is_int:
+            raise SemanticError(f"expected integer, got {value.ctype.ir}", location)
+        return value
+
+    def _promote_pair(self, lhs: RValue, rhs: RValue, location) -> tuple[RValue, RValue, CType]:
+        """Usual arithmetic conversions (promote to >= i32, widest wins)."""
+        if not (lhs.ctype.is_int and rhs.ctype.is_int):
+            raise SemanticError("integer operands required", location)
+        assert isinstance(lhs.ctype.ir, IntType) and isinstance(rhs.ctype.ir, IntType)
+        bits = max(32, lhs.ctype.ir.bits, rhs.ctype.ir.bits)
+        signed = lhs.ctype.signed and rhs.ctype.signed
+        target = CType(int_type(bits), signed)
+        return (
+            self._convert(lhs, target, location),
+            self._convert(rhs, target, location),
+            target,
+        )
+
+    def _emit_condition(self, expr: ast.Expr) -> Value:
+        """Evaluate *expr* and produce an i1 truth value."""
+        value = self._emit_expr(expr)
+        return self._to_bool(value)
+
+    def _to_bool(self, value: RValue) -> Value:
+        if value.ctype.is_pointer:
+            assert isinstance(value.ctype.ir, PointerType)
+            return self.builder.icmp("ne", value.value, ConstantNull(value.ctype.ir))
+        assert isinstance(value.ctype.ir, IntType)
+        if value.ctype.ir.bits == 1:
+            return value.value
+        zero = ConstantInt(value.ctype.ir, 0)
+        return self.builder.icmp("ne", value.value, zero)
+
+    # -- operators ------------------------------------------------------
+
+    def _emit_unary(self, expr: ast.Unary) -> RValue:
+        if expr.op == "*":
+            return self._load_lvalue(self._emit_lvalue(expr))
+        if expr.op == "&":
+            lvalue = self._emit_lvalue(expr.operand)
+            if lvalue.ctype.is_array:
+                array = lvalue.ctype.ir
+                assert isinstance(array, ArrayType)
+                address = self.builder.gep(
+                    lvalue.address, [self.builder.i64(0), self.builder.i64(0)]
+                )
+                return RValue(address, CType(pointer_type(array.element), False))
+            return RValue(lvalue.address, CType(pointer_type(lvalue.ctype.ir), False))
+        if expr.op in ("++", "--"):
+            return self._emit_incdec(expr.operand, expr.op, prefix=True,
+                                     location=expr.location)
+        value = self._emit_expr(expr.operand)
+        if expr.op == "!":
+            truth = self._to_bool(value)
+            inverted = self.builder.xor(truth, self.builder.i1(1))
+            return RValue(self.builder.zext(inverted, int_type(32)), BOOL_C)
+        value = self._rvalue_int(value, expr.location)
+        promoted = self._convert(
+            value,
+            CType(int_type(max(32, value.ctype.ir.bits)), value.ctype.signed),  # type: ignore[union-attr]
+            expr.location,
+        )
+        assert isinstance(promoted.ctype.ir, IntType)
+        if expr.op == "-":
+            zero = ConstantInt(promoted.ctype.ir, 0)
+            return RValue(self.builder.sub(zero, promoted.value), promoted.ctype)
+        if expr.op == "~":
+            ones = ConstantInt(promoted.ctype.ir, -1)
+            return RValue(self.builder.xor(promoted.value, ones), promoted.ctype)
+        raise SemanticError(f"unsupported unary op {expr.op}", expr.location)
+
+    def _emit_incdec(self, target: ast.Expr, op: str, prefix: bool, location) -> RValue:
+        lvalue = self._emit_lvalue(target)
+        old = self._load_lvalue(lvalue)
+        if lvalue.ctype.is_pointer:
+            step = self.builder.i64(1 if op == "++" else -1)
+            new = self.builder.gep(old.value, [step])
+        else:
+            assert isinstance(lvalue.ctype.ir, IntType)
+            one = ConstantInt(lvalue.ctype.ir, 1)
+            if op == "++":
+                new = self.builder.add(old.value, one)
+            else:
+                new = self.builder.sub(old.value, one)
+        self.builder.store(new, lvalue.address)
+        return RValue(new if prefix else old.value, lvalue.ctype)
+
+    _UNSIGNED_OPS = {"/": "udiv", "%": "urem", ">>": "lshr"}
+    _SIGNED_OPS = {"/": "sdiv", "%": "srem", ">>": "ashr"}
+    _PLAIN_OPS = {"+": "add", "-": "sub", "*": "mul", "&": "and", "|": "or",
+                  "^": "xor", "<<": "shl"}
+    _CMP_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+    def _emit_binary(self, expr: ast.Binary) -> RValue:
+        op = expr.op
+        if op == ",":
+            self._emit_expr(expr.lhs)
+            return self._emit_expr(expr.rhs)
+        if op in ("&&", "||"):
+            return self._emit_logical(expr)
+        lhs = self._emit_expr(expr.lhs)
+        rhs = self._emit_expr(expr.rhs)
+        if op in self._CMP_OPS:
+            return self._emit_comparison(op, lhs, rhs, expr.location)
+        # Pointer arithmetic.
+        if lhs.ctype.is_pointer and op in ("+", "-") and rhs.ctype.is_int:
+            offset = self.builder.resize_int(rhs.value, int_type(64), rhs.ctype.signed)
+            if op == "-":
+                offset = self.builder.sub(self.builder.i64(0), offset)
+            return RValue(self.builder.gep(lhs.value, [offset]), lhs.ctype)
+        if lhs.ctype.is_pointer and rhs.ctype.is_pointer and op == "-":
+            left = self.builder.ptrtoint(lhs.value, int_type(64))
+            right = self.builder.ptrtoint(rhs.value, int_type(64))
+            diff = self.builder.sub(left, right)
+            assert isinstance(lhs.ctype.ir, PointerType)
+            size = lhs.ctype.ir.pointee.size()
+            if size > 1:
+                diff = self.builder.sdiv(diff, self.builder.i64(size))
+            return RValue(diff, I64_C)
+        left, right, target = self._promote_pair(lhs, rhs, expr.location)
+        if op in self._PLAIN_OPS:
+            ir_op = self._PLAIN_OPS[op]
+        elif target.signed:
+            ir_op = self._SIGNED_OPS[op]
+        else:
+            ir_op = self._UNSIGNED_OPS[op]
+        return RValue(self.builder.binop(ir_op, left.value, right.value), target)
+
+    def _emit_comparison(self, op: str, lhs: RValue, rhs: RValue, location) -> RValue:
+        base = self._CMP_OPS[op]
+        if lhs.ctype.is_pointer or rhs.ctype.is_pointer:
+            pointer_side = lhs if lhs.ctype.is_pointer else rhs
+            lhs = self._convert(lhs, pointer_side.ctype, location)
+            rhs = self._convert(rhs, pointer_side.ctype, location)
+            predicate = base if base in ("eq", "ne") else "u" + base
+        else:
+            left, right, target = self._promote_pair(lhs, rhs, location)
+            lhs, rhs = left, right
+            if base in ("eq", "ne"):
+                predicate = base
+            else:
+                predicate = ("s" if target.signed else "u") + base
+        result = self.builder.icmp(predicate, lhs.value, rhs.value)
+        return RValue(self.builder.zext(result, int_type(32)), BOOL_C)
+
+    def _emit_logical(self, expr: ast.Binary) -> RValue:
+        """Short-circuit && / || via a result slot (clang -O0 style)."""
+        slot = self._entry_alloca(int_type(32), "sc")
+        rhs_block = self.builder.append_block("sc.rhs")
+        end_block = self.builder.append_block("sc.end")
+        lhs = self._emit_condition(expr.lhs)
+        lhs32 = self.builder.zext(lhs, int_type(32))
+        self.builder.store(lhs32, slot)
+        if expr.op == "&&":
+            self.builder.cond_br(lhs, rhs_block, end_block)
+        else:
+            self.builder.cond_br(lhs, end_block, rhs_block)
+        self.builder.position_at_end(rhs_block)
+        rhs = self._emit_condition(expr.rhs)
+        self.builder.store(self.builder.zext(rhs, int_type(32)), slot)
+        self.builder.br(end_block)
+        self.builder.position_at_end(end_block)
+        return RValue(self.builder.load(slot), BOOL_C)
+
+    def _emit_assign(self, expr: ast.Assign) -> RValue:
+        lvalue = self._emit_lvalue(expr.target)
+        if expr.op:
+            current = self._load_lvalue(lvalue)
+            combined = ast.Binary(expr.location, expr.op, _Materialised(current),
+                                  _Materialised(self._emit_expr(expr.value)))
+            value = self._emit_binary(combined)
+        else:
+            value = self._emit_expr(expr.value)
+        converted = self._convert(value, lvalue.ctype, expr.location)
+        self.builder.store(converted.value, lvalue.address)
+        return converted
+
+    def _emit_ternary(self, expr: ast.Ternary) -> RValue:
+        cond = self._emit_condition(expr.cond)
+        true_block = self.builder.append_block("tern.true")
+        false_block = self.builder.append_block("tern.false")
+        end_block = self.builder.append_block("tern.end")
+        self.builder.cond_br(cond, true_block, false_block)
+
+        self.builder.position_at_end(true_block)
+        true_value = self._emit_expr(expr.if_true)
+        slot_type = true_value.ctype
+        slot = self._entry_alloca(slot_type.ir, "tern")
+        self.builder.store(true_value.value, slot)
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(false_block)
+        false_value = self._emit_expr(expr.if_false)
+        false_converted = self._convert(false_value, slot_type, expr.location)
+        self.builder.store(false_converted.value, slot)
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(end_block)
+        return RValue(self.builder.load(slot), slot_type)
+
+    def _emit_call(self, expr: ast.Call) -> RValue:
+        if expr.name not in self.functions:
+            raise SemanticError(f"call to undeclared function {expr.name!r}",
+                                expr.location)
+        ret, params = self.functions[expr.name]
+        function = self.module.get_function(expr.name)
+        if len(expr.args) != len(params):
+            raise SemanticError(
+                f"{expr.name} expects {len(params)} arguments, got {len(expr.args)}",
+                expr.location,
+            )
+        args = []
+        for arg_expr, param in zip(expr.args, params):
+            value = self._emit_expr(arg_expr)
+            args.append(self._convert(value, param, expr.location).value)
+        result = self.builder.call(function, args)
+        return RValue(result, ret)
+
+    def _emit_cast(self, expr: ast.CastExpr) -> RValue:
+        target = self.resolve(expr.target, expr.location)
+        value = self._emit_expr(expr.operand)
+        if target.ir.is_void:
+            return RValue(self.builder.i32(0), I32_C)
+        return self._convert(value, target, expr.location)
+
+
+def compile_c(source: str, module_name: str = "module") -> Module:
+    """Compile MiniC *source* into a verified MiniIR module."""
+    from repro.ir.verifier import verify_module
+
+    unit = parse(source)
+    module = CodeGenerator(unit, module_name).generate()
+    verify_module(module)
+    return module

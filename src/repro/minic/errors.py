@@ -1,0 +1,41 @@
+"""Diagnostics for the MiniC front-end."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """Line/column position inside a MiniC source string."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int):
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"<SourceLocation {self}>"
+
+
+class MiniCError(Exception):
+    """Base class for all front-end diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        self.bare_message = message
+        prefix = f"{location}: " if location is not None else ""
+        super().__init__(f"{prefix}{message}")
+
+
+class LexError(MiniCError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(MiniCError):
+    """Syntax error."""
+
+
+class SemanticError(MiniCError):
+    """Type error or use of an undeclared symbol."""

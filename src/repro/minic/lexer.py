@@ -1,0 +1,258 @@
+"""Tokenizer for MiniC.
+
+MiniC is the C subset used to author the benchmark targets: enough of
+the language that realistic format parsers read like ordinary C, small
+enough that the whole front-end stays reviewable.
+
+A tiny object-like "macro" table substitutes the handful of constants
+real C code would get from headers (``NULL``, ``EOF``, ``SEEK_SET``...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.minic.errors import LexError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    CHAR_LIT = "char"
+    STRING_LIT = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "unsigned",
+        "struct", "const", "static",
+        "if", "else", "while", "for", "do", "break", "continue", "return",
+        "sizeof", "switch", "case", "default", "goto",
+    }
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+#: Header-style constants available in every MiniC translation unit.
+PREDEFINED_CONSTANTS: dict[str, int] = {
+    "NULL": 0,
+    "EOF": -1,
+    "SEEK_SET": 0,
+    "SEEK_CUR": 1,
+    "SEEK_END": 2,
+}
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: int = 0          # for INT_LIT / CHAR_LIT
+    string: bytes = b""     # for STRING_LIT
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"<Token {self.kind.value} {self.text!r} @{self.location}>"
+
+
+class Lexer:
+    """Single-pass tokenizer with line/column tracking."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.kind is TokenKind.EOF:
+                return out
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        location = self._location()
+        ch = self._peek()
+        if not ch:
+            return Token(TokenKind.EOF, "", location)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(location)
+        if ch.isdigit():
+            return self._lex_number(location)
+        if ch == "'":
+            return self._lex_char(location)
+        if ch == '"':
+            return self._lex_string(location)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, location)
+        raise LexError(f"unexpected character {ch!r}", location)
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if not self._peek():
+                    raise LexError("unterminated block comment", self._location())
+                self._advance(2)
+            else:
+                return
+
+    def _lex_word(self, location: SourceLocation) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in KEYWORDS:
+            return Token(TokenKind.KEYWORD, text, location)
+        if text in PREDEFINED_CONSTANTS:
+            return Token(TokenKind.INT_LIT, text, location,
+                         value=PREDEFINED_CONSTANTS[text])
+        return Token(TokenKind.IDENT, text, location)
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            if len(text) <= 2:
+                raise LexError("malformed hex literal", location)
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 10)
+        # Optional integer suffixes, accepted and ignored (L/U/UL...).
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+            text = self.source[start:self.pos]
+        return Token(TokenKind.INT_LIT, text, location, value=value)
+
+    def _lex_char(self, location: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if not ch:
+            raise LexError("unterminated character literal", location)
+        if ch == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape == "x":
+                self._advance()
+                digits = ""
+                while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                    digits += self._peek()
+                    self._advance()
+                if not digits:
+                    raise LexError("malformed hex escape", location)
+                value = int(digits, 16) & 0xFF
+            else:
+                if escape not in _ESCAPES:
+                    raise LexError(f"unknown escape \\{escape}", location)
+                value = _ESCAPES[escape]
+                self._advance()
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", location)
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, f"'{ch}'", location, value=value)
+
+    def _lex_string(self, location: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        data = bytearray()
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError("unterminated string literal", location)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape == "x":
+                    self._advance()
+                    digits = ""
+                    while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                        digits += self._peek()
+                        self._advance()
+                    if not digits:
+                        raise LexError("malformed hex escape", location)
+                    data.append(int(digits, 16) & 0xFF)
+                    continue
+                if escape not in _ESCAPES:
+                    raise LexError(f"unknown escape \\{escape}", location)
+                data.append(_ESCAPES[escape])
+                self._advance()
+            else:
+                data.append(ord(ch) & 0xFF)
+                self._advance()
+        # Adjacent string literals concatenate, as in C.
+        save_pos, save_line, save_col = self.pos, self.line, self.column
+        self._skip_trivia()
+        if self._peek() == '"':
+            nested = self._lex_string(self._location())
+            data.extend(nested.string)
+        else:
+            self.pos, self.line, self.column = save_pos, save_line, save_col
+        return Token(TokenKind.STRING_LIT, "<string>", location, string=bytes(data))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, returning a token list ending with EOF."""
+    return Lexer(source).tokens()

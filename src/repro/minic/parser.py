@@ -1,0 +1,530 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (informal):
+
+    unit        := (struct-decl | global-decl | func-decl)*
+    struct-decl := 'struct' IDENT '{' (type declarator ';')* '}' ';'
+    func-decl   := type IDENT '(' params ')' (block | ';')
+    global-decl := ['const'|'static'] type declarator ['=' init] ';'
+
+Expressions use precedence climbing with the usual C precedence table.
+Array sizes and case labels must be integer constant expressions (a
+small constant folder handles arithmetic on literals).
+"""
+
+from __future__ import annotations
+
+from repro.minic import ast
+from repro.minic.errors import ParseError
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "unsigned", "struct"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def accept(self, text: str) -> Token | None:
+        token = self.peek()
+        if token.is_punct(text) or token.is_keyword(text):
+            return self.next()
+        return None
+
+    def expect(self, text: str) -> Token:
+        token = self.accept(text)
+        if token is None:
+            actual = self.peek()
+            raise ParseError(f"expected {text!r}, found {actual.text!r}", actual.location)
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.location)
+        return self.next()
+
+    def at_eof(self) -> bool:
+        return self.peek().kind is TokenKind.EOF
+
+    # -- types ----------------------------------------------------------
+
+    def looks_like_type(self) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS
+
+    def parse_base_type(self) -> ast.TypeSpec:
+        token = self.peek()
+        if token.is_keyword("struct"):
+            self.next()
+            name = self.expect_ident()
+            return ast.StructRef(name.text)
+        unsigned = False
+        if token.is_keyword("unsigned"):
+            self.next()
+            unsigned = True
+            token = self.peek()
+        if token.kind is TokenKind.KEYWORD and token.text in (
+            "void", "char", "short", "int", "long"
+        ):
+            self.next()
+            # 'long long' and 'unsigned long long' collapse to long.
+            if token.text == "long" and self.peek().is_keyword("long"):
+                self.next()
+            return ast.NamedType(token.text, unsigned)
+        if unsigned:
+            # bare 'unsigned' means 'unsigned int'
+            return ast.NamedType("int", True)
+        raise ParseError(f"expected type, found {token.text!r}", token.location)
+
+    def parse_pointers(self, base: ast.TypeSpec) -> ast.TypeSpec:
+        while self.accept("*"):
+            base = ast.PointerTo(base)
+        return base
+
+    def parse_array_suffix(self, base: ast.TypeSpec) -> ast.TypeSpec:
+        """Parse trailing ``[N]([M]...)`` dimensions (outermost first)."""
+        dims: list[int] = []
+        while self.accept("["):
+            dims.append(self.parse_const_int())
+            self.expect("]")
+        for dim in reversed(dims):
+            base = ast.ArrayOf(base, dim)
+        return base
+
+    def parse_const_int(self) -> int:
+        expr = self.parse_ternary()
+        value = fold_const(expr)
+        if value is None:
+            raise ParseError("expected integer constant expression", expr.location)
+        return value
+
+    # -- top level --------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self.at_eof():
+            token = self.peek()
+            if token.is_keyword("struct") and self.peek(2).is_punct("{"):
+                unit.structs.append(self.parse_struct_decl())
+                continue
+            const = False
+            while True:
+                if self.accept("static"):
+                    continue
+                if self.accept("const"):
+                    const = True
+                    continue
+                break
+            base = self.parse_base_type()
+            base = self.parse_pointers(base)
+            name = self.expect_ident()
+            if self.peek().is_punct("("):
+                unit.functions.append(self.parse_function(base, name))
+            else:
+                unit.globals.extend(self.parse_globals(base, name, const))
+        return unit
+
+    def parse_struct_decl(self) -> ast.StructDecl:
+        start = self.expect("struct")
+        name = self.expect_ident()
+        self.expect("{")
+        fields: list[tuple[str, ast.TypeSpec]] = []
+        while not self.accept("}"):
+            base = self.parse_base_type()
+            while True:
+                ftype = self.parse_pointers(base)
+                fname = self.expect_ident()
+                ftype = self.parse_array_suffix(ftype)
+                fields.append((fname.text, ftype))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        self.expect(";")
+        return ast.StructDecl(name.text, fields, start.location)
+
+    def parse_globals(
+        self, base: ast.TypeSpec, first_name: Token, const: bool
+    ) -> list[ast.GlobalDecl]:
+        decls: list[ast.GlobalDecl] = []
+        name = first_name
+        while True:
+            gtype = self.parse_array_suffix(base)
+            init: ast.Expr | None = None
+            if self.accept("="):
+                init = self.parse_global_init()
+            decls.append(ast.GlobalDecl(name.text, gtype, init, const, name.location))
+            if not self.accept(","):
+                break
+            inner = self.parse_pointers(base)
+            name = self.expect_ident()
+            base = inner
+        self.expect(";")
+        return decls
+
+    def parse_global_init(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.STRING_LIT:
+            self.next()
+            return ast.StringLit(token.location, token.string)
+        if token.is_punct("{"):
+            raise ParseError(
+                "aggregate initializers are not supported; initialise in code",
+                token.location,
+            )
+        return self.parse_ternary()
+
+    def parse_function(self, return_type: ast.TypeSpec, name: Token) -> ast.FuncDecl:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.peek().is_punct(")"):
+            if self.peek().is_keyword("void") and self.peek(1).is_punct(")"):
+                self.next()
+            else:
+                while True:
+                    base = self.parse_base_type()
+                    ptype = self.parse_pointers(base)
+                    pname = self.expect_ident()
+                    ptype = self.parse_array_suffix(ptype)
+                    if isinstance(ptype, ast.ArrayOf):
+                        # Array parameters decay to pointers, as in C.
+                        ptype = ast.PointerTo(ptype.inner)
+                    params.append(ast.Param(pname.text, ptype))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        if self.accept(";"):
+            return ast.FuncDecl(name.text, return_type, params, None, name.location)
+        body = self.parse_block()
+        return ast.FuncDecl(name.text, return_type, params, body, name.location)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("{")
+        statements: list[ast.Stmt] = []
+        while not self.accept("}"):
+            statements.append(self.parse_statement())
+        return ast.Block(start.location, statements)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.is_keyword("do"):
+            return self.parse_do_while()
+        if token.is_keyword("for"):
+            return self.parse_for()
+        if token.is_keyword("switch"):
+            return self.parse_switch()
+        if token.is_keyword("break"):
+            self.next()
+            self.expect(";")
+            return ast.Break(token.location)
+        if token.is_keyword("continue"):
+            self.next()
+            self.expect(";")
+            return ast.Continue(token.location)
+        if token.is_keyword("return"):
+            self.next()
+            value = None if self.peek().is_punct(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(token.location, value)
+        if self.looks_like_type() or token.is_keyword("const"):
+            return self.parse_var_decl()
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(token.location, expr)
+
+    def parse_var_decl(self) -> ast.Stmt:
+        start = self.peek()
+        self.accept("const")
+        base = self.parse_base_type()
+        decls: list[ast.Stmt] = []
+        while True:
+            vtype = self.parse_pointers(base)
+            name = self.expect_ident()
+            vtype = self.parse_array_suffix(vtype)
+            init: ast.Expr | None = None
+            if self.accept("="):
+                token = self.peek()
+                if token.kind is TokenKind.STRING_LIT:
+                    self.next()
+                    init = ast.StringLit(token.location, token.string)
+                else:
+                    init = self.parse_assignment()
+            decls.append(ast.VarDecl(name.location, name.text, vtype, init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclGroup(start.location, decls)
+
+    def parse_if(self) -> ast.If:
+        start = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.parse_statement()
+        else_body = self.parse_statement() if self.accept("else") else None
+        return ast.If(start.location, cond, then_body, else_body)
+
+    def parse_while(self) -> ast.While:
+        start = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(start.location, cond, self.parse_statement())
+
+    def parse_do_while(self) -> ast.DoWhile:
+        start = self.expect("do")
+        body = self.parse_statement()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(start.location, body, cond)
+
+    def parse_for(self) -> ast.For:
+        start = self.expect("for")
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.peek().is_punct(";"):
+            if self.looks_like_type():
+                init = self.parse_var_decl()  # consumes the ';'
+            else:
+                expr = self.parse_expr()
+                self.expect(";")
+                init = ast.ExprStmt(start.location, expr)
+        else:
+            self.expect(";")
+        cond = None if self.peek().is_punct(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.peek().is_punct(")") else self.parse_expr()
+        self.expect(")")
+        return ast.For(start.location, init, cond, step, self.parse_statement())
+
+    def parse_switch(self) -> ast.Switch:
+        start = self.expect("switch")
+        self.expect("(")
+        value = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases: list[ast.SwitchCase] = []
+        current: ast.SwitchCase | None = None
+        while not self.accept("}"):
+            if self.accept("case"):
+                case_value = self.parse_const_int()
+                self.expect(":")
+                if current is None or current.body:
+                    current = ast.SwitchCase([case_value], [])
+                    cases.append(current)
+                else:
+                    current.values.append(case_value)
+                continue
+            if self.accept("default"):
+                self.expect(":")
+                current = ast.SwitchCase([], [])
+                cases.append(current)
+                continue
+            if current is None:
+                raise ParseError("statement before first case label",
+                                 self.peek().location)
+            current.body.append(self.parse_statement())
+        return ast.Switch(start.location, value, cases)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept(","):
+            rhs = self.parse_assignment()
+            expr = ast.Binary(rhs.location, ",", expr, rhs)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        target = self.parse_ternary()
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            op = token.text[:-1]  # '' for plain '='
+            return ast.Assign(token.location, op, target, value)
+        return target
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            if_true = self.parse_assignment()
+            self.expect(":")
+            if_false = self.parse_ternary()
+            return ast.Ternary(cond.location, cond, if_true, if_false)
+        return cond
+
+    def parse_binary(self, min_precedence: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind is not TokenKind.PUNCT:
+                return lhs
+            precedence = _PRECEDENCE.get(token.text, 0)
+            if precedence < min_precedence:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(precedence + 1)
+            lhs = ast.Binary(token.location, token.text, lhs, rhs)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "!", "~", "*", "&"):
+            self.next()
+            return ast.Unary(token.location, token.text, self.parse_unary())
+        if token.is_punct("++") or token.is_punct("--"):
+            self.next()
+            return ast.Unary(token.location, token.text, self.parse_unary())
+        if token.is_keyword("sizeof"):
+            self.next()
+            self.expect("(")
+            spec = self.parse_pointers(self.parse_base_type())
+            self.expect(")")
+            return ast.SizeOf(token.location, spec)
+        if token.is_punct("(") and self._is_cast():
+            self.next()
+            spec = self.parse_pointers(self.parse_base_type())
+            self.expect(")")
+            return ast.CastExpr(token.location, spec, self.parse_unary())
+        return self.parse_postfix()
+
+    def _is_cast(self) -> bool:
+        """Disambiguate ``(type)expr`` from a parenthesised expression."""
+        next_token = self.peek(1)
+        return next_token.kind is TokenKind.KEYWORD and next_token.text in _TYPE_KEYWORDS
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.is_punct("["):
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(token.location, expr, index)
+            elif token.is_punct("."):
+                self.next()
+                name = self.expect_ident()
+                expr = ast.Member(token.location, expr, name.text, False)
+            elif token.is_punct("->"):
+                self.next()
+                name = self.expect_ident()
+                expr = ast.Member(token.location, expr, name.text, True)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self.next()
+                expr = ast.Postfix(token.location, token.text, expr)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT_LIT or token.kind is TokenKind.CHAR_LIT:
+            self.next()
+            return ast.IntLit(token.location, token.value)
+        if token.kind is TokenKind.STRING_LIT:
+            self.next()
+            return ast.StringLit(token.location, token.string)
+        if token.is_punct("("):
+            self.next()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self.next()
+            if self.peek().is_punct("("):
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.peek().is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(token.location, token.text, args)
+            return ast.Ident(token.location, token.text)
+        raise ParseError(f"unexpected token {token.text!r}", token.location)
+
+
+def fold_const(expr: ast.Expr) -> int | None:
+    """Evaluate an integer constant expression, or None if not constant."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        inner = fold_const(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "~":
+            return ~inner
+        if expr.op == "!":
+            return 0 if inner else 1
+        return None
+    if isinstance(expr, ast.Binary):
+        lhs = fold_const(expr.lhs)
+        rhs = fold_const(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return {
+                "+": lambda: lhs + rhs,
+                "-": lambda: lhs - rhs,
+                "*": lambda: lhs * rhs,
+                "/": lambda: lhs // rhs if rhs else None,
+                "%": lambda: lhs % rhs if rhs else None,
+                "<<": lambda: lhs << rhs,
+                ">>": lambda: lhs >> rhs,
+                "&": lambda: lhs & rhs,
+                "|": lambda: lhs | rhs,
+                "^": lambda: lhs ^ rhs,
+            }[expr.op]()
+        except KeyError:
+            return None
+    return None
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source into a translation unit."""
+    return Parser(tokenize(source)).parse_unit()

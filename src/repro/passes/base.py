@@ -1,0 +1,82 @@
+"""Pass framework: module/function passes and the pass manager.
+
+Mirrors LLVM's ``opt`` discipline: passes are small, composable
+transformations over a module; the manager runs them in order and
+(optionally) verifies the module after each one.  Every pass reports
+what it changed through a :class:`PassResult`, which the tests and the
+Figure 3-5 experiments use to assert the transformations happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+
+
+@dataclass
+class PassResult:
+    """What one pass did to one module."""
+
+    pass_name: str
+    changed: bool = False
+    details: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.details[key] = self.details.get(key, 0) + amount
+        if amount:
+            self.changed = True
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"{self.pass_name}: {body or 'no changes'}"
+
+
+class ModulePass:
+    """Base class: transform a whole module."""
+
+    name = "<module-pass>"
+
+    def run(self, module: Module) -> PassResult:
+        raise NotImplementedError
+
+
+class FunctionPass(ModulePass):
+    """Base class: transform one function at a time."""
+
+    name = "<function-pass>"
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        for function in list(module.defined_functions()):
+            self.run_on_function(function, module, result)
+        return result
+
+    def run_on_function(self, function: Function, module: Module,
+                        result: PassResult) -> None:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pipeline of passes over a module."""
+
+    def __init__(self, passes: list[ModulePass], verify_each: bool = True):
+        self.passes = list(passes)
+        self.verify_each = verify_each
+        self.results: list[PassResult] = []
+
+    def run(self, module: Module) -> list[PassResult]:
+        self.results = []
+        for pass_ in self.passes:
+            result = pass_.run(module)
+            self.results.append(result)
+            if self.verify_each:
+                verify_module(module)
+        return self.results
+
+    def result_for(self, pass_name: str) -> PassResult:
+        for result in self.results:
+            if result.pass_name == pass_name:
+                return result
+        raise KeyError(f"no result recorded for pass {pass_name!r}")

@@ -1,0 +1,47 @@
+"""ExitPass: reroute the target's ``exit()`` calls to ClosureX's exitHook.
+
+Paper §4.2.1: programs terminate with ``exit()`` on malformed input —
+extremely common under fuzzing — which would tear down a persistent
+process.  ClosureX saves the harness state with ``setjmp`` and replaces
+each ``exit`` call inside the *instrumented target code* with a wrapper
+that ``longjmp``\\ s back to the harness loop, unwinding the stack
+without killing the process.
+
+In MiniIR the wrapper is the declared function ``closurex_exit_hook``,
+whose native raises :class:`~repro.vm.errors.HarnessExit`; the Python
+harness catches it, which is the ``setjmp``/``longjmp`` pair of the
+paper's Listing 1.  Calls originating in external libraries (our libc
+natives) are untouched, matching the paper's "leave libc's exits
+alone" rule.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, I32, VOID
+from repro.passes.base import ModulePass, PassResult
+
+EXIT_HOOK = "closurex_exit_hook"
+HOOKABLE = ("exit", "abort")
+
+
+class ExitPass(ModulePass):
+    name = "ExitPass"
+
+    def __init__(self, hook_abort: bool = False):
+        # The paper hooks exit(); abort() is a crash signal the fuzzer
+        # must still observe, so hooking it is off by default.
+        self.targets = ("exit", "abort") if hook_abort else ("exit",)
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        hook = module.declare_function(EXIT_HOOK, FunctionType(VOID, [I32]))
+        for name in self.targets:
+            if not module.has_function(name):
+                continue
+            original = module.get_function(name)
+            if not original.is_declaration:
+                continue  # target defines its own exit(); leave it be
+            rewritten = original.replace_all_uses_with(hook)
+            result.bump(f"{name}_calls_rerouted", rewritten)
+        return result

@@ -1,0 +1,50 @@
+"""FilePass: reroute file-handle routines through ClosureX's tracking hooks.
+
+Paper §4.2.2: the OS caps open descriptors per process, so handles
+leaked across iterations of a persistent loop eventually exhaust the
+table and produce false crashes.  The pass rewrites ``fopen`` ->
+``fopen_hook`` and ``fclose`` -> ``fclose_hook``; the hooks maintain a
+handle map and the harness closes whatever the target leaked.
+
+The same pattern extends to other resource-handle APIs (paper mentions
+sockets and shared memory); *extra_opens*/*extra_closes* accept
+additional symbol names to reroute through the same hooks.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.passes.base import ModulePass, PassResult
+
+FOPEN_HOOK = "closurex_fopen_hook"
+FCLOSE_HOOK = "closurex_fclose_hook"
+
+FILE_WRAPPERS = {
+    "fopen": FOPEN_HOOK,
+    "fclose": FCLOSE_HOOK,
+}
+
+
+class FilePass(ModulePass):
+    name = "FilePass"
+
+    def __init__(self, extra_opens: list[str] | None = None,
+                 extra_closes: list[str] | None = None):
+        self.wrappers = dict(FILE_WRAPPERS)
+        for name in extra_opens or []:
+            self.wrappers[name] = FOPEN_HOOK
+        for name in extra_closes or []:
+            self.wrappers[name] = FCLOSE_HOOK
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        for original_name, hook_name in self.wrappers.items():
+            if not module.has_function(original_name):
+                continue
+            original = module.get_function(original_name)
+            if not original.is_declaration:
+                continue
+            hook = module.declare_function(hook_name, original.function_type)
+            rewritten = original.replace_all_uses_with(hook)
+            result.bump(f"{original_name}_calls_rerouted", rewritten)
+        return result

@@ -1,0 +1,40 @@
+"""GlobalPass: segregate writable globals into ``closure_global_section``.
+
+Paper §4.2.2 / Figures 3-4: the pass walks every global variable in the
+module and asks ``isConstant()``; every *modifiable* global is moved
+into a dedicated binary section via ``setSection``.  At run time the
+harness learns the section's bounds from the loader (the paper uses
+``readelf``; the MiniVM loader exposes section address/size directly)
+and snapshots/restores it bytewise around each test case.
+
+Keeping truly constant data (string literals, lookup tables) out of the
+section keeps the per-iteration copy small — that is the pass's whole
+performance point.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.passes.base import ModulePass, PassResult
+
+CLOSURE_GLOBAL_SECTION = "closure_global_section"
+
+
+class GlobalPass(ModulePass):
+    name = "GlobalPass"
+
+    def __init__(self, section: str = CLOSURE_GLOBAL_SECTION):
+        self.section = section
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        for var in module.globals.values():
+            if var.is_constant:
+                result.details["constants_skipped"] = (
+                    result.details.get("constants_skipped", 0) + 1
+                )
+                continue
+            if var.section != self.section:
+                var.set_section(self.section)
+                result.bump("globals_relocated")
+        return result

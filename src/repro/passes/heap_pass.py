@@ -1,0 +1,57 @@
+"""HeapPass: reroute malloc-family calls through ClosureX's tracking wrappers.
+
+Paper §4.2.2 / Figure 5: ClosureX declares wrappers (``myMalloc``...)
+and rewrites every call to ``malloc``/``calloc``/``realloc``/``free``
+with ``replaceAllUsesWith``.  At runtime the wrappers maintain a chunk
+map of live allocations; after each test case the harness frees every
+chunk the target leaked.
+
+The pass also supports the paper's §7.2 "custom memory allocators"
+extension: extra allocator symbol names can be mapped onto the wrapper
+semantics (``extra_allocators={"xmalloc": "malloc"}``).
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.passes.base import ModulePass, PassResult
+
+#: original symbol -> ClosureX wrapper symbol
+HEAP_WRAPPERS = {
+    "malloc": "closurex_malloc",
+    "calloc": "closurex_calloc",
+    "realloc": "closurex_realloc",
+    "free": "closurex_free",
+}
+
+
+class HeapPass(ModulePass):
+    name = "HeapPass"
+
+    def __init__(self, extra_allocators: dict[str, str] | None = None):
+        """*extra_allocators* maps custom symbol -> standard semantic
+        ('malloc', 'calloc', 'realloc' or 'free')."""
+        self.extra_allocators = dict(extra_allocators or {})
+        for semantic in self.extra_allocators.values():
+            if semantic not in HEAP_WRAPPERS:
+                raise ValueError(f"unknown allocator semantic {semantic!r}")
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        for original_name, wrapper_name in HEAP_WRAPPERS.items():
+            self._reroute(module, original_name, wrapper_name, result)
+        for custom_name, semantic in self.extra_allocators.items():
+            self._reroute(module, custom_name, HEAP_WRAPPERS[semantic], result)
+        return result
+
+    @staticmethod
+    def _reroute(module: Module, original_name: str, wrapper_name: str,
+                 result: PassResult) -> None:
+        if not module.has_function(original_name):
+            return
+        original = module.get_function(original_name)
+        if not original.is_declaration:
+            return
+        wrapper = module.declare_function(wrapper_name, original.function_type)
+        rewritten = original.replace_all_uses_with(wrapper)
+        result.bump(f"{original_name}_calls_rerouted", rewritten)

@@ -1,0 +1,82 @@
+"""Canonical pass pipelines for building fuzz targets.
+
+- :func:`closurex_pipeline` — the full ClosureX instrumentation (the
+  five passes of the paper's Table 3) plus the shared coverage
+  instrumentation.
+- :func:`baseline_pipeline` — what an AFL++ build gets: coverage
+  instrumentation only; process management is the executor's job.
+
+Both pipelines take the *same* coverage seed so the baseline and
+ClosureX builds of a target share identical edge ids, keeping coverage
+numbers directly comparable (paper §5.3).
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.passes.base import ModulePass, PassManager, PassResult
+from repro.passes.coverage import CoveragePass
+from repro.passes.exit_pass import ExitPass
+from repro.passes.file_pass import FilePass
+from repro.passes.global_pass import GlobalPass
+from repro.passes.heap_pass import HeapPass
+from repro.passes.rename_main import RenameMainPass
+
+#: Paper Table 3: the ClosureX passes and their one-line functionality.
+PASS_TABLE: dict[str, str] = {
+    "RenameMainPass": "Rename target's main",
+    "HeapPass": "Inject tracking of target's heap memory",
+    "FilePass": "Inject tracking of target's file descriptors",
+    "GlobalPass": "Move target's writable globals into a separate memory section",
+    "ExitPass": "Rename target's exit calls",
+}
+
+
+def closurex_passes(
+    coverage_seed: int | None = None,
+    extra_allocators: dict[str, str] | None = None,
+    skip: set[str] | None = None,
+) -> list[ModulePass]:
+    """The ClosureX pipeline; *skip* names passes to drop (ablations)."""
+    skip = skip or set()
+    passes: list[ModulePass] = []
+    for pass_ in (
+        RenameMainPass(),
+        ExitPass(),
+        HeapPass(extra_allocators=extra_allocators),
+        FilePass(),
+        GlobalPass(),
+    ):
+        if pass_.name not in skip:
+            passes.append(pass_)
+    passes.append(CoveragePass(coverage_seed))
+    return passes
+
+
+def baseline_passes(coverage_seed: int | None = None) -> list[ModulePass]:
+    """The AFL++-style build: coverage instrumentation only."""
+    return [CoveragePass(coverage_seed)]
+
+
+def persistent_passes(coverage_seed: int | None = None) -> list[ModulePass]:
+    """The *naive* persistent-mode build (the paper's incorrect foil):
+    the loop needs a callable entry point, but no state tracking is
+    injected — exit() still kills the process, leaks accumulate."""
+    return [RenameMainPass(), CoveragePass(coverage_seed)]
+
+
+def closurex_pipeline(
+    module: Module,
+    coverage_seed: int | None = None,
+    extra_allocators: dict[str, str] | None = None,
+    skip: set[str] | None = None,
+) -> list[PassResult]:
+    """Instrument *module* in place for ClosureX execution."""
+    manager = PassManager(closurex_passes(coverage_seed, extra_allocators, skip))
+    return manager.run(module)
+
+
+def baseline_pipeline(module: Module, coverage_seed: int | None = None) -> list[PassResult]:
+    """Instrument *module* in place for baseline (AFL++) execution."""
+    manager = PassManager(baseline_passes(coverage_seed))
+    return manager.run(module)

@@ -1,0 +1,33 @@
+"""RenameMainPass: rename the target's ``main`` to ``target_main``.
+
+Paper §4.2.1 / Table 3: ClosureX provides its own harness ``main`` that
+repeatedly invokes the target.  The pass finds the target's original
+entry point and renames it (LLVM's ``Function::setName``) so the
+harness entry point can take its place.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.passes.base import ModulePass, PassResult
+
+TARGET_MAIN = "target_main"
+
+
+class RenameMainPass(ModulePass):
+    name = "RenameMainPass"
+
+    def __init__(self, original: str = "main", replacement: str = TARGET_MAIN):
+        self.original = original
+        self.replacement = replacement
+
+    def run(self, module: Module) -> PassResult:
+        result = PassResult(self.name)
+        if not module.has_function(self.original):
+            return result
+        function = module.get_function(self.original)
+        if function.is_declaration:
+            return result
+        module.rename_function(function, self.replacement)
+        result.bump("renamed")
+        return result

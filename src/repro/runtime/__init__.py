@@ -1,0 +1,23 @@
+"""ClosureX runtime: harness loop, chunk map, FD tracker, global snapshot."""
+
+from repro.runtime.chunkmap import ChunkMap, ChunkRecord
+from repro.runtime.fdtracker import FDTracker, HandleRecord
+from repro.runtime.globals_snapshot import GlobalSectionSnapshot
+from repro.runtime.harness import (
+    DEFAULT_INPUT_PATH,
+    HOOK_OVERHEAD_NS,
+    ClosureXHarness,
+    HarnessConfig,
+    IterationResult,
+    IterationStatus,
+    RestoreReport,
+)
+
+__all__ = [
+    "ChunkMap", "ChunkRecord",
+    "FDTracker", "HandleRecord",
+    "GlobalSectionSnapshot",
+    "DEFAULT_INPUT_PATH", "HOOK_OVERHEAD_NS",
+    "ClosureXHarness", "HarnessConfig", "IterationResult",
+    "IterationStatus", "RestoreReport",
+]

@@ -1,0 +1,75 @@
+"""The ClosureX chunk map (paper Figure 5).
+
+Runtime side of the HeapPass: the rerouted ``closurex_malloc`` /
+``closurex_calloc`` / ``closurex_realloc`` / ``closurex_free`` wrappers
+record every live allocation here.  After a test case the harness
+sweeps whatever the target leaked.
+
+Chunks allocated during the harness's initialisation phase (before the
+fuzzing loop starts) are process-invariant state — a fresh process
+would carry them too — so they are marked ``init`` and never swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChunkRecord:
+    address: int
+    size: int
+    init: bool
+
+
+class ChunkMap:
+    """Address -> record of every allocation the target still owns."""
+
+    def __init__(self) -> None:
+        self._chunks: dict[int, ChunkRecord] = {}
+        self.total_tracked = 0
+        self.total_freed_by_target = 0
+        self.total_swept = 0
+
+    def record(self, address: int, size: int, init: bool = False) -> None:
+        if address == 0:
+            return
+        self._chunks[address] = ChunkRecord(address, size, init)
+        self.total_tracked += 1
+
+    def remove(self, address: int) -> bool:
+        """Target freed *address*; returns False if it was untracked."""
+        record = self._chunks.pop(address, None)
+        if record is None:
+            return False
+        self.total_freed_by_target += 1
+        return True
+
+    def leaked(self) -> list[ChunkRecord]:
+        """Chunks the target failed to free (init chunks excluded)."""
+        return [c for c in self._chunks.values() if not c.init]
+
+    def mark_all_init(self) -> int:
+        """Flag every currently tracked chunk as initialisation state."""
+        for chunk in self._chunks.values():
+            chunk.init = True
+        return len(self._chunks)
+
+    def sweep(self) -> list[ChunkRecord]:
+        """Remove and return all leaked (non-init) chunks."""
+        leaked = self.leaked()
+        for chunk in leaked:
+            del self._chunks[chunk.address]
+        self.total_swept += len(leaked)
+        return leaked
+
+    def live_count(self, include_init: bool = True) -> int:
+        if include_init:
+            return len(self._chunks)
+        return sum(1 for c in self._chunks.values() if not c.init)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._chunks
+
+    def __len__(self) -> int:
+        return len(self._chunks)

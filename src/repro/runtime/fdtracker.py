@@ -1,0 +1,71 @@
+"""The ClosureX file-descriptor tracker (paper §4.2.2, FilePass runtime).
+
+Tracks every FILE handle the target opens via the rerouted
+``fopen_hook``/``fclose_hook``.  After a test case the harness closes
+leaked handles.  Handles opened during the initialisation phase get the
+paper's optimisation: instead of close-and-reopen they are *rewound*
+(``fseek`` to 0), which is cheaper and preserves the handle identity a
+fresh process would have after its own init.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HandleRecord:
+    handle: int
+    path: str
+    init: bool
+
+
+class FDTracker:
+    """Handle -> record of every FILE the target has open."""
+
+    def __init__(self) -> None:
+        self._handles: dict[int, HandleRecord] = {}
+        self.total_opened = 0
+        self.total_closed_by_target = 0
+        self.total_swept = 0
+        self.total_rewound = 0
+
+    def record(self, handle: int, path: str, init: bool = False) -> None:
+        if handle == 0:
+            return
+        self._handles[handle] = HandleRecord(handle, path, init)
+        self.total_opened += 1
+
+    def remove(self, handle: int) -> bool:
+        record = self._handles.pop(handle, None)
+        if record is None:
+            return False
+        self.total_closed_by_target += 1
+        return True
+
+    def mark_all_init(self) -> int:
+        for record in self._handles.values():
+            record.init = True
+        return len(self._handles)
+
+    def leaked(self) -> list[HandleRecord]:
+        return [h for h in self._handles.values() if not h.init]
+
+    def init_handles(self) -> list[HandleRecord]:
+        return [h for h in self._handles.values() if h.init]
+
+    def sweep(self) -> tuple[list[HandleRecord], list[HandleRecord]]:
+        """Returns ``(to_close, to_rewind)`` and drops the closed ones."""
+        to_close = self.leaked()
+        for record in to_close:
+            del self._handles[record.handle]
+        to_rewind = self.init_handles()
+        self.total_swept += len(to_close)
+        self.total_rewound += len(to_rewind)
+        return to_close, to_rewind
+
+    def open_count(self) -> int:
+        return len(self._handles)
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._handles

@@ -1,0 +1,46 @@
+"""Global-section snapshot/restore (paper Figure 4, GlobalPass runtime).
+
+At boot the harness copies the entire ``closure_global_section`` into an
+internal buffer ("ground truth").  After every test case it writes the
+buffer back, undoing whatever the test case did to writable globals.
+
+The harness learns the section's bounds from the loader — the MiniVM
+analogue of parsing the ELF with ``readelf`` and exporting
+``CLOSURE_GLOBAL_SECTION_ADDR``/``_SIZE`` as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.vm.interpreter import VM
+
+
+class GlobalSectionSnapshot:
+    """Ground-truth copy of one named section of a loaded VM."""
+
+    def __init__(self, vm: VM, section: str):
+        self.vm = vm
+        self.section = section
+        self.buffer: bytes = b""
+        self.size = vm.section_size(section)
+        self.restore_count = 0
+
+    def capture(self) -> int:
+        """Snapshot the section; returns bytes captured."""
+        self.buffer = self.vm.section_bytes(self.section)
+        return len(self.buffer)
+
+    def restore(self) -> int:
+        """Write the snapshot back; returns bytes copied."""
+        if len(self.buffer) != self.size:
+            raise RuntimeError(
+                f"snapshot of {self.section!r} not captured before restore"
+            )
+        copied = self.vm.restore_section(self.section, self.buffer)
+        self.restore_count += 1
+        return copied
+
+    def dirty_offsets(self) -> list[int]:
+        """Offsets whose current value differs from the snapshot
+        (diagnostics for the Figure 4 experiment)."""
+        current = self.vm.section_bytes(self.section)
+        return [i for i in range(len(current)) if current[i] != self.buffer[i]]

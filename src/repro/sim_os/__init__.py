@@ -1,0 +1,15 @@
+"""Simulated OS: virtual time, processes, fork/CoW cost accounting."""
+
+from repro.sim_os.costs import DEFAULT_COSTS, PAGE_SIZE, CostModel
+from repro.sim_os.kernel import (
+    Kernel,
+    KernelStats,
+    ProcessRecord,
+    ProcessState,
+    VirtualClock,
+)
+
+__all__ = [
+    "DEFAULT_COSTS", "PAGE_SIZE", "CostModel",
+    "Kernel", "KernelStats", "ProcessRecord", "ProcessState", "VirtualClock",
+]

@@ -1,0 +1,88 @@
+"""Calibrated cost model for simulated process management.
+
+All costs are in *virtual nanoseconds*.  The absolute values are chosen
+to sit in the right order of magnitude for a Linux machine of the
+paper's era (fork ~tens of microseconds, process spawn ~hundreds of
+microseconds, byte copies ~4 B/ns) — but the experiments only rely on
+the *relationships* between them:
+
+    spawn+exec  >>  fork+teardown  >>  ClosureX restore  >  bare loop
+
+which is the execution-mechanism spectrum of the paper's §2.  Table 5's
+2.4-4.8x speedup band then emerges from how large each target's
+per-test-case execution cost is relative to the fork overhead, rather
+than from per-target fudge factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs of kernel and runtime operations."""
+
+    # Fresh process execution: fork+exec+loader+dynamic linking.
+    spawn_base_ns: int = 420_000
+    exec_image_per_byte_ns_x1000: int = 50       # 0.05 ns per image byte
+    teardown_fresh_ns: int = 30_000
+
+    # Forkserver: fork(), CoW page management, child teardown.
+    fork_base_ns: int = 14_000
+    fork_per_page_ns: int = 9                    # PTE copy per mapped page
+    cow_fault_per_page_ns: int = 520             # first write to a page
+    # Every forked child dirties a baseline set of pages before and
+    # while running (its stack, allocator metadata, libc data), no
+    # matter how little the target itself writes.
+    cow_floor_pages: int = 12
+    teardown_child_ns: int = 11_000
+
+    # Common per-test-case fuzzer plumbing (shared by every mechanism):
+    # write the test case, signal the target, read the status.
+    dispatch_ns: int = 3_200
+
+    # Persistent-loop mechanics.
+    loop_iteration_ns: int = 140                 # __AFL_LOOP bookkeeping
+    setjmp_ns: int = 60
+
+    # ClosureX state restoration.
+    restore_base_ns: int = 250
+    global_restore_per_byte_x1000: int = 250     # 0.25 ns/B ~ 4 B/ns memcpy
+    heap_sweep_per_chunk_ns: int = 55
+    fd_close_ns: int = 130
+    fd_rewind_ns: int = 45
+
+    # -- derived helpers -------------------------------------------------
+
+    def spawn_cost(self, image_bytes: int) -> int:
+        """Create + exec a fresh process for a binary of *image_bytes*."""
+        return self.spawn_base_ns + (image_bytes * self.exec_image_per_byte_ns_x1000) // 1000
+
+    def fork_cost(self, footprint_bytes: int) -> int:
+        """fork() a parent with *footprint_bytes* of mapped memory."""
+        pages = footprint_bytes // PAGE_SIZE + 1
+        return self.fork_base_ns + pages * self.fork_per_page_ns
+
+    def cow_cost(self, bytes_written: int) -> int:
+        """Copy-on-write faults triggered by *bytes_written* of stores."""
+        pages = bytes_written // PAGE_SIZE + (1 if bytes_written else 0)
+        return max(pages, self.cow_floor_pages) * self.cow_fault_per_page_ns
+
+    def closurex_restore_cost(
+        self, section_bytes: int, leaked_chunks: int,
+        closed_fds: int, rewound_fds: int,
+    ) -> int:
+        """Fine-grain restoration after one test case."""
+        return (
+            self.restore_base_ns
+            + (section_bytes * self.global_restore_per_byte_x1000) // 1000
+            + leaked_chunks * self.heap_sweep_per_chunk_ns
+            + closed_fds * self.fd_close_ns
+            + rewound_fds * self.fd_rewind_ns
+        )
+
+
+DEFAULT_COSTS = CostModel()

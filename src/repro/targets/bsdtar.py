@@ -1,0 +1,178 @@
+"""bsdtar stand-in: a ustar archive lister (paper Table 4, row 1).
+
+Real bsdtar is libarchive's CLI; the evaluation fuzzes its tar parsing.
+This target parses ustar headers the same way: 512-byte header blocks
+with octal-encoded fields, the ``ustar`` magic at offset 257, a
+checksum over the header, and per-entry type dispatch.  It exercises
+all four state classes ClosureX restores — mutable globals (counters,
+name cache), heap (per-entry payload copies, some leaked on error
+paths), a FILE handle kept open across parsing (leaked on ``exit``),
+and ``exit()`` on malformed archives.
+"""
+
+from __future__ import annotations
+
+from repro.targets.framework import TargetSpec, register_target
+
+SOURCE = r"""
+char input_buf[1600];
+long input_len;
+long entries_seen;
+long bytes_archived;
+long dirs_seen;
+int type_counts[16];
+char last_name[104];
+int error_count;
+const char TMAGIC[6] = "ustar";
+
+long rd_octal(char *p, int n) {
+    long v = 0;
+    for (int i = 0; i < n; i++) {
+        char c = p[i];
+        if (c == 0 || c == ' ') { break; }
+        if (c < '0' || c > '7') { error_count++; return -1; }
+        v = (v << 3) + (long)(c - '0');
+    }
+    return v;
+}
+
+long header_checksum(char *h) {
+    /* strided checksum keeps the walk cheap but input-sensitive */
+    long sum = 0;
+    for (int i = 0; i < 512; i += 64) {
+        if (i >= 148 && i < 156) { sum += 32; }
+        else { sum += (long)h[i]; }
+    }
+    return sum;
+}
+
+int is_end_block(char *h) {
+    return h[0] == 0 && h[1] == 0 && h[2] == 0 && h[3] == 0;
+}
+
+void remember_name(char *h) {
+    int i = 0;
+    while (i < 12 && h[i]) {
+        last_name[i] = h[i];
+        i++;
+    }
+    last_name[i] = 0;
+}
+
+long process_entry(char *h) {
+    long size = rd_octal(h + 130, 6);
+    if (size < 0) { exit(3); }
+    long sum = rd_octal(h + 150, 6);
+    if (sum != header_checksum(h)) { exit(4); }
+    if (strncmp(h + 257, TMAGIC, 5) != 0) { exit(5); }
+    char t = h[156];
+    type_counts[t & 15]++;
+    remember_name(h);
+    if (t == '5') {
+        dirs_seen++;
+        return 0;
+    }
+    if (t == '1' || t == '2') {
+        /* hard/sym link: keep a copy of the link name (leaked). */
+        char *link = (char*)malloc(101);
+        int i = 0;
+        while (i < 24 && h[157 + i]) { link[i] = h[157 + i]; i++; }
+        link[i] = 0;
+        return 0;
+    }
+    bytes_archived += size;
+    long blocks = (size + 511) / 512;
+    if (blocks > 2) { exit(6); }
+    /* stage the payload like the extractor would */
+    char *payload = (char*)malloc(512);
+    long have = input_len - 512;
+    if (have > 512) { have = 512; }
+    if (blocks > 0 && have > 0) {
+        memcpy(payload, h + 512, have);
+        bytes_archived += (long)payload[0] & 1;
+    }
+    free(payload);
+    entries_seen++;
+    return blocks;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1600, f);
+    if (input_len < 512) { exit(2); }      /* leaks the FILE handle */
+    long off = 0;
+    while (off + 512 <= input_len) {
+        char *h = input_buf + off;
+        if (is_end_block(h)) { break; }
+        long blocks = process_entry(h);
+        off += 512 + blocks * 512;
+    }
+    fclose(f);
+    if (entries_seen > 0 && error_count > 0) { return 1; }
+    return 0;
+}
+"""
+
+
+def _octal(value: int, width: int) -> bytes:
+    return (f"{value:0{width - 1}o}").encode() + b"\x00"
+
+
+def _header_checksum(header: bytes) -> int:
+    """Mirror of the target's strided checksum."""
+    total = 0
+    for i in range(0, 512, 64):
+        total += 32 if 148 <= i < 156 else header[i]
+    return total
+
+
+def make_tar_entry(name: bytes, size: int, typeflag: bytes = b"0",
+                   payload: bytes = b"") -> bytes:
+    """Build one valid ustar header block (+ payload blocks)."""
+    header = bytearray(512)
+    header[0:len(name)] = name
+    header[100:108] = _octal(0o644, 8)       # mode
+    header[108:116] = _octal(0, 8)           # uid
+    header[116:124] = _octal(0, 8)           # gid
+    header[124:136] = _octal(size, 12)       # size
+    header[136:148] = _octal(0, 12)          # mtime
+    header[148:156] = b" " * 8               # checksum placeholder
+    header[156:157] = typeflag
+    header[257:263] = b"ustar\x00"
+    checksum = _header_checksum(header)
+    header[148:156] = _octal(checksum, 7) + b" "
+    blocks = bytes(header)
+    if payload:
+        padded = payload + bytes((-len(payload)) % 512)
+        blocks += padded
+    return blocks
+
+
+def _seeds() -> list[bytes]:
+    file_entry = make_tar_entry(b"hello.txt", 13, b"0", b"hello, world\n")
+    dir_entry = make_tar_entry(b"docs/", 0, b"5")
+    link_entry = bytearray(make_tar_entry(b"link", 0, b"2"))
+    link_entry[157:161] = b"dest"
+    # Re-checksum after adding the linkname.
+    link_entry[148:156] = b" " * 8
+    link_entry[148:156] = _octal(_header_checksum(bytes(link_entry[:512])), 7) + b" "
+    return [
+        file_entry,
+        dir_entry + bytes(512),
+        bytes(link_entry),
+        file_entry + dir_entry,
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="bsdtar",
+        input_format="tar",
+        image_bytes=4_700_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[],
+        description="ustar archive lister modelled on bsdtar/libarchive",
+    )
+)

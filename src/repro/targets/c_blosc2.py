@@ -1,0 +1,200 @@
+"""c-blosc2 stand-in: Blosc2 frame decoder (paper Table 4, row 9).
+
+Blosc2 "bframe" containers hold a header (magic, header/frame lengths,
+chunk count, compression params), a chunk offset table, per-chunk
+headers (codec, filters, sizes), and a trailer.  The paper found four
+NULL-pointer dereferences in c-blosc2 (Table 7's four c-blosc2 rows);
+this target plants four NULL dereferences in four distinct functions of
+the equivalent decode path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import PlantedBug, TargetSpec, register_target
+from repro.vm.errors import TrapKind
+
+SOURCE = r"""
+char input_buf[1024];
+long input_len;
+int chunks_decoded;
+int filters_applied;
+long bytes_decoded;
+long trailer_checked;
+int codec_histogram[8];
+
+long rd_u32(char *p) {
+    return (long)p[0] | ((long)p[1] << 8) | ((long)p[2] << 16) | ((long)p[3] << 24);
+}
+
+/* BUG blosc2-1: a zero chunk offset yields a NULL chunk pointer that
+   the header reader dereferences. */
+char *chunk_at(long offset) {
+    if (offset == 0 || offset + 16 > input_len) { return (char*)NULL; }
+    return input_buf + offset;
+}
+
+long read_chunk_header(long offset) {
+    char *chunk = chunk_at(offset);
+    long version = (long)chunk[0];            /* NULL deref */
+    long nbytes = rd_u32(chunk + 4);
+    long cbytes = rd_u32(chunk + 8);
+    if (cbytes > input_len) { exit(7); }
+    if (nbytes > 4096) { exit(8); }
+    return nbytes + (version & 1);
+}
+
+/* BUG blosc2-2: unknown codec ids index past the name table and the
+   returned NULL is dereferenced by the decoder. */
+char *codec_name(long codec) {
+    if (codec < 5) { return input_buf; }      /* stand-in for a real entry */
+    return (char*)NULL;
+}
+
+long decode_chunk(long offset) {
+    char *chunk = input_buf + offset;
+    long codec = (long)chunk[12];
+    codec_histogram[codec & 7]++;
+    char *name = codec_name(codec);
+    long tag = (long)name[0];                 /* NULL deref for codec >= 5 */
+    long nbytes = rd_u32(chunk + 4);
+    char *out = (char*)malloc(nbytes + 1);
+    long take = nbytes;
+    if (offset + 16 + take > input_len) { take = input_len - offset - 16; }
+    long csum = 0;
+    if (take > 0) {
+        memcpy(out, chunk + 16, take);
+        for (long i = 0; i < take; i += 2) { csum += (long)out[i]; }
+    }
+    bytes_decoded += take + (tag & 1) + (csum & 1);
+    chunks_decoded++;
+    free(out);
+    return nbytes;
+}
+
+/* BUG blosc2-3: filter id 6 has no implementation; the pipeline calls
+   through the NULL slot anyway. */
+char *filter_impl(long filter) {
+    if (filter == 0) { return input_buf; }
+    if (filter < 6) { return input_buf + filter; }
+    return (char*)NULL;
+}
+
+long apply_filters(long offset) {
+    char *chunk = input_buf + offset;
+    long fcode = (long)chunk[13];
+    long applied = 0;
+    for (int i = 0; i < 2; i++) {
+        long f = (fcode >> (i * 4)) & 0xf;
+        if (f == 0) { continue; }
+        char *impl = filter_impl(f);
+        applied += (long)impl[0];             /* NULL deref for f >= 6 */
+        filters_applied++;
+    }
+    return applied;
+}
+
+/* BUG blosc2-4: a frame declaring has_trailer with a truncated body
+   produces a NULL trailer pointer. */
+char *trailer_at(long frame_len) {
+    if (frame_len < 32 || frame_len > input_len) { return (char*)NULL; }
+    return input_buf + frame_len - 8;
+}
+
+long read_trailer(long frame_len) {
+    char *t = trailer_at(frame_len);
+    long version = (long)t[0];                /* NULL deref */
+    trailer_checked += version;
+    return version;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1024, f);
+    fclose(f);
+    if (input_len < 32) { exit(2); }
+    if (input_buf[0] != 'b' || input_buf[1] != '2'
+        || input_buf[2] != 'f' || input_buf[3] != 'r') { exit(3); }
+    long header_len = rd_u32(input_buf + 4);
+    long frame_len = rd_u32(input_buf + 8);
+    long nchunks = rd_u32(input_buf + 12);
+    char flags = input_buf[16];
+    if (header_len < 32 || header_len > input_len) { exit(4); }
+    if (nchunks > 12) { exit(5); }
+    if (header_len + nchunks * 4 > input_len) { exit(6); }
+
+    for (long i = 0; i < nchunks; i++) {
+        long offset = rd_u32(input_buf + header_len + i * 4);
+        long nbytes = read_chunk_header(offset);
+        if (nbytes >= 0) {
+            decode_chunk(offset);
+            apply_filters(offset);
+        }
+    }
+    if (flags & 0x10) {
+        read_trailer(frame_len);
+    }
+    return chunks_decoded > 0 ? 0 : 1;
+}
+"""
+
+
+def make_frame(chunks: list[bytes], flags: int = 0x10,
+               codec: int = 1, filters: int = 0) -> bytes:
+    """Build a bframe with valid offsets, chunk headers, and trailer."""
+    header_len = 32
+    offsets_at = header_len
+    table_len = 4 * len(chunks)
+    body = bytearray()
+    offsets = []
+    cursor = offsets_at + table_len
+    for payload in chunks:
+        offsets.append(cursor)
+        chunk = struct.pack("<IIII", 0xC0DE, len(payload), len(payload) + 16,
+                            codec | (filters << 8))
+        # codec byte lives at chunk[12], filters at chunk[13]
+        chunk = chunk[:12] + bytes([codec, filters, 0, 0])
+        body += chunk + payload
+        cursor += len(chunk) + len(payload)
+    frame_len = cursor + 8
+    out = bytearray()
+    out += b"b2fr"
+    out += struct.pack("<III", header_len, frame_len, len(chunks))
+    out += bytes([flags]) + bytes(header_len - 17)
+    for off in offsets:
+        out += struct.pack("<I", off)
+    out += body
+    out += bytes([2]) + bytes(7)               # trailer
+    return bytes(out)
+
+
+def _seeds() -> list[bytes]:
+    return [
+        make_frame([b"0123456789abcdef"], flags=0x10, codec=1),
+        make_frame([b"AAAA" * 8, b"BBBB" * 4], flags=0x10, codec=2, filters=0x21),
+        make_frame([b"xyz" * 5], flags=0x00, codec=4, filters=0x03),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="c-blosc2",
+        input_format="bframe",
+        image_bytes=12_000_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[
+            PlantedBug("blosc2-1", "zero chunk offset yields NULL chunk ptr",
+                       TrapKind.NULL_DEREF, "read_chunk_header", "Null Ptr Deref."),
+            PlantedBug("blosc2-2", "unknown codec id returns NULL name",
+                       TrapKind.NULL_DEREF, "decode_chunk", "Null Ptr Deref."),
+            PlantedBug("blosc2-3", "filter id >= 6 has NULL implementation",
+                       TrapKind.NULL_DEREF, "apply_filters", "Null Ptr Deref."),
+            PlantedBug("blosc2-4", "truncated frame yields NULL trailer",
+                       TrapKind.NULL_DEREF, "read_trailer", "Null Ptr Deref."),
+        ],
+        description="Blosc2 frame decoder modelled on c-blosc2",
+    )
+)

@@ -1,0 +1,147 @@
+"""Target framework: specs, builds, registry, bug manifests.
+
+Each benchmark target is a MiniC program mirroring one of the paper's
+Table 4 subjects: same input format, comparable structure (format
+gates, record iteration, global state, dynamic allocation, early
+``exit()`` paths), and — for the four programs where the paper found
+0-days — planted bugs whose types match Table 7's rows.
+
+A :class:`TargetSpec` compiles its source through the appropriate pass
+pipeline on demand; baseline and ClosureX builds share a coverage seed
+derived from the target name so their edge ids agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.ir.module import Module
+from repro.ir.cfg import edge_count
+from repro.minic import compile_c
+from repro.passes.base import PassManager
+from repro.passes.pipelines import (
+    baseline_passes,
+    closurex_passes,
+    persistent_passes,
+)
+from repro.vm.errors import TrapKind
+
+
+@dataclass(frozen=True)
+class PlantedBug:
+    """Manifest entry for one intentionally introduced bug."""
+
+    bug_id: str
+    description: str
+    trap_kind: TrapKind
+    function: str           # crash-site function name (dedup identity)
+    table7_label: str       # bug-type string as printed in Table 7
+
+    def matches(self, identity: tuple[TrapKind, str, str]) -> bool:
+        kind, function, _block = identity
+        return kind is self.trap_kind and function == self.function
+
+
+@dataclass
+class TargetSpec:
+    """One benchmark target (a row of the paper's Table 4)."""
+
+    name: str
+    input_format: str
+    image_bytes: int
+    source: str
+    seeds: list[bytes]
+    bugs: list[PlantedBug] = field(default_factory=list)
+    extra_allocators: dict[str, str] | None = None
+    description: str = ""
+
+    @property
+    def coverage_seed(self) -> int:
+        seed = 0
+        for ch in self.name.encode():
+            seed = (seed * 131 + ch) & 0x7FFFFFFF
+        return seed
+
+    # -- builds ---------------------------------------------------------
+
+    def compile(self) -> Module:
+        """Compile the raw (uninstrumented) module."""
+        return compile_c(self.source, self.name)
+
+    def build_baseline(self) -> Module:
+        """AFL++-style build: coverage instrumentation only."""
+        module = self.compile()
+        PassManager(baseline_passes(self.coverage_seed)).run(module)
+        return module
+
+    def build_closurex(self, skip: set[str] | None = None) -> Module:
+        """Full ClosureX instrumentation; *skip* drops passes (ablation)."""
+        module = self.compile()
+        manager = PassManager(
+            closurex_passes(self.coverage_seed, self.extra_allocators, skip)
+        )
+        manager.run(module)
+        return module
+
+    def build_persistent(self) -> Module:
+        """Naive persistent-mode build (renamed entry, no tracking)."""
+        module = self.compile()
+        PassManager(persistent_passes(self.coverage_seed)).run(module)
+        return module
+
+    # -- metadata ---------------------------------------------------------
+
+    def static_edge_count(self) -> int:
+        """Size of this target's static CFG edge universe (coverage
+        denominator for Table 6)."""
+        return edge_count(self.build_baseline())
+
+    def find_bug(self, identity: tuple[TrapKind, str, str]) -> PlantedBug | None:
+        for bug in self.bugs:
+            if bug.matches(identity):
+                return bug
+        return None
+
+
+_REGISTRY: dict[str, TargetSpec] = {}
+
+
+def register_target(spec: TargetSpec) -> TargetSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate target {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_target(name: str) -> TargetSpec:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_targets() -> list[TargetSpec]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def target_names() -> list[str]:
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+@lru_cache(maxsize=1)
+def _ensure_loaded() -> bool:
+    """Import the ten target modules, populating the registry."""
+    from repro.targets import (  # noqa: F401
+        bsdtar,
+        c_blosc2,
+        freetype,
+        giftext,
+        gpmf_parser,
+        libbpf,
+        libdwarf,
+        libpcap,
+        md4c,
+        zlib_target,
+    )
+    return True

@@ -1,0 +1,184 @@
+"""freetype stand-in: a TrueType (sfnt) font loader (Table 4, row 5).
+
+Parses the sfnt container: version tag, big-endian table directory
+(tag / checksum / offset / length per entry), then the ``head``,
+``maxp``, ``cmap``, and ``hmtx`` tables, staging glyph metrics through
+heap buffers.
+
+The paper's §6.1.4 flags freetype as the one benchmark with naturally
+non-deterministic control flow, suspected to come from a PRNG.  This
+target reproduces that property: a ``rand()``-seeded cache-slot
+decision writes to a global and biases a branch, so identical inputs
+can take slightly different paths across runs — which the correctness
+experiments must mask, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import TargetSpec, register_target
+
+SOURCE = r"""
+char input_buf[1200];
+long input_len;
+int tables_seen;
+int glyphs_declared;
+long units_per_em;
+int cmap_subtables;
+int cache_slots[8];
+int cache_hits;
+long metrics_sum;
+
+long rd_u16(char *p) {
+    return ((long)p[0] << 8) | (long)p[1];
+}
+
+long rd_u32(char *p) {
+    return ((long)p[0] << 24) | ((long)p[1] << 16) | ((long)p[2] << 8) | (long)p[3];
+}
+
+int tag_is(char *p, char a, char b, char c, char d) {
+    return p[0] == a && p[1] == b && p[2] == c && p[3] == d;
+}
+
+/* Natural non-determinism: cache placement uses the libc PRNG, and the
+   chosen slot feeds back into control flow (a cache-hit fast path). */
+void cache_touch(long key) {
+    int slot = rand() & 7;
+    if (cache_slots[slot] == (int)(key & 0x7fffffff)) {
+        cache_hits++;
+    } else {
+        cache_slots[slot] = (int)(key & 0x7fffffff);
+    }
+}
+
+void parse_head(long off, long len) {
+    if (len < 54) { exit(5); }
+    long magic = rd_u32(input_buf + off + 12);
+    if (magic != 0x5f0f3cf5) { exit(6); }
+    units_per_em = rd_u16(input_buf + off + 18);
+    if (units_per_em == 0) { exit(7); }
+    cache_touch(units_per_em);
+}
+
+void parse_maxp(long off, long len) {
+    if (len < 6) { exit(8); }
+    glyphs_declared = (int)rd_u16(input_buf + off + 4);
+    if (glyphs_declared > 512) { exit(9); }
+}
+
+void parse_cmap(long off, long len) {
+    if (len < 4) { exit(10); }
+    long ntab = rd_u16(input_buf + off + 2);
+    if (ntab > 8) { exit(11); }
+    for (long i = 0; i < ntab; i++) {
+        long rec = off + 4 + i * 8;
+        if (rec + 8 > off + len) { exit(12); }
+        long platform = rd_u16(input_buf + rec);
+        long sub_off = rd_u32(input_buf + rec + 4);
+        if (sub_off >= len) { exit(13); }
+        if (platform <= 4) { cmap_subtables++; }
+        cache_touch(platform * 131 + sub_off);
+    }
+}
+
+void parse_hmtx(long off, long len) {
+    long count = len / 4;
+    if (count > 64) { count = 64; }
+    char *metrics = (char*)malloc(count * 4 + 4);
+    memcpy(metrics, input_buf + off, count * 4);
+    for (long i = 0; i < count; i++) {
+        long advance = rd_u16(metrics + i * 4);
+        long bearing = rd_u16(metrics + i * 4 + 2);
+        metrics_sum += advance;
+        if (bearing > advance) { metrics_sum -= bearing - advance; }
+        cache_touch(advance);
+    }
+    free(metrics);
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1200, f);
+    if (input_len < 12) { exit(2); }
+    long version = rd_u32(input_buf);
+    if (version != 0x00010000 && version != 0x74727565) { exit(3); }
+    long num_tables = rd_u16(input_buf + 4);
+    if (num_tables == 0 || num_tables > 16) { exit(4); }
+    if (12 + num_tables * 16 > input_len) { exit(14); }   /* leaks FILE */
+    fclose(f);
+
+    srand((int)time() + (int)(version & 0xffff));
+    for (long i = 0; i < num_tables; i++) {
+        char *entry = input_buf + 12 + i * 16;
+        long off = rd_u32(entry + 8);
+        long len = rd_u32(entry + 12);
+        if (off + len > input_len) { exit(15); }
+        if (off > input_len) { exit(16); }
+        tables_seen++;
+        if (tag_is(entry, 'h', 'e', 'a', 'd')) { parse_head(off, len); }
+        else if (tag_is(entry, 'm', 'a', 'x', 'p')) { parse_maxp(off, len); }
+        else if (tag_is(entry, 'c', 'm', 'a', 'p')) { parse_cmap(off, len); }
+        else if (tag_is(entry, 'h', 'm', 't', 'x')) { parse_hmtx(off, len); }
+    }
+    return tables_seen > 0 ? 0 : 1;
+}
+"""
+
+
+def make_font(tables: list[tuple[bytes, bytes]]) -> bytes:
+    """Build an sfnt: tables = [(4cc tag, payload)]."""
+    directory_len = 12 + 16 * len(tables)
+    out = bytearray()
+    out += struct.pack(">I", 0x00010000)
+    out += struct.pack(">HHHH", len(tables), 16, 4, 0)
+    cursor = directory_len
+    payloads = b""
+    for tag, payload in tables:
+        out += tag + struct.pack(">III", 0, cursor, len(payload))
+        payloads += payload
+        cursor += len(payload)
+    return bytes(out) + payloads
+
+
+def _head_table() -> bytes:
+    head = bytearray(54)
+    head[12:16] = struct.pack(">I", 0x5F0F3CF5)
+    head[18:20] = struct.pack(">H", 1000)
+    return bytes(head)
+
+
+def _cmap_table(n: int = 2) -> bytes:
+    out = struct.pack(">HH", 0, n)
+    for i in range(n):
+        out += struct.pack(">HHI", 3, 1, 4 + 8 * n + i * 4)
+    return out + bytes(8)
+
+
+def _seeds() -> list[bytes]:
+    maxp = struct.pack(">IHH", 0x00010000, 0, 96)[:6] + bytes(2)
+    # Repeated advance widths make the PRNG-placed cache *sometimes*
+    # hit (same slot drawn twice), giving the occasional run-to-run
+    # control-flow divergence the paper observed on freetype.
+    hmtx = struct.pack(">8H", 500, 0, 500, 1, 480, 2, 500, 3)
+    return [
+        make_font([(b"head", _head_table()), (b"maxp", maxp)]),
+        make_font([(b"head", _head_table()), (b"cmap", _cmap_table(2)),
+                   (b"hmtx", hmtx)]),
+        make_font([(b"maxp", maxp), (b"hmtx", hmtx)]),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="freetype",
+        input_format="ttf",
+        image_bytes=4_600_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[],
+        description="sfnt/TrueType loader modelled on FreeType",
+    )
+)

@@ -1,0 +1,157 @@
+"""giftext stand-in: a GIF structure dumper (paper Table 4, row 6).
+
+giftext (from giflib) walks a GIF file and prints its structure.  This
+target does the same walk: ``GIF87a``/``GIF89a`` signature, logical
+screen descriptor, optional global color table, then the block stream —
+extension blocks (0x21) with sub-block chains, image descriptors (0x2C)
+with optional local color tables and LZW data sub-blocks, and the
+trailer (0x3B).
+"""
+
+from __future__ import annotations
+
+from repro.targets.framework import TargetSpec, register_target
+
+SOURCE = r"""
+char input_buf[1200];
+long input_len;
+int images_seen;
+int extensions_seen;
+long pixels_declared;
+int color_table_sizes[8];
+int got_trailer;
+const char SIG87[7] = "GIF87a";
+const char SIG89[7] = "GIF89a";
+
+long rd_u16(char *p) {
+    return (long)p[0] | ((long)p[1] << 8);
+}
+
+long skip_subblocks(long off) {
+    while (off < input_len) {
+        long len = (long)input_buf[off];
+        off++;
+        if (len == 0) { return off; }
+        if (off + len > input_len) { exit(5); }
+        long sum = 0;
+        sum += (long)input_buf[off] + (long)input_buf[off + len - 1];
+        pixels_declared += sum & 1;
+        off += len;
+    }
+    exit(6);
+    return off;
+}
+
+long parse_image(long off) {
+    if (off + 9 > input_len) { exit(7); }
+    long w = rd_u16(input_buf + off + 4);
+    long h = rd_u16(input_buf + off + 6);
+    char flags = input_buf[off + 8];
+    pixels_declared += w * h;
+    off += 9;
+    if (flags & 0x80) {
+        int bits = (flags & 7) + 1;
+        long entries = (long)1 << bits;
+        color_table_sizes[bits - 1]++;
+        char *table = (char*)malloc(entries * 3);
+        if (off + entries * 3 > input_len) { exit(8); }    /* leaks table */
+        memcpy(table, input_buf + off, entries * 3);
+        off += entries * 3;
+        free(table);
+    }
+    if (off >= input_len) { exit(9); }
+    off++;                       /* LZW minimum code size */
+    images_seen++;
+    return skip_subblocks(off);
+}
+
+long parse_extension(long off) {
+    if (off + 1 > input_len) { exit(10); }
+    char label = input_buf[off];
+    off++;
+    extensions_seen++;
+    if (label == 0xf9 || label == 0x01 || label == 0xfe || label == 0xff) {
+        return skip_subblocks(off);
+    }
+    return skip_subblocks(off);
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1200, f);
+    fclose(f);
+    if (input_len < 13) { exit(2); }
+    if (strncmp(input_buf, SIG87, 6) != 0 && strncmp(input_buf, SIG89, 6) != 0) {
+        exit(3);
+    }
+    long width = rd_u16(input_buf + 6);
+    long height = rd_u16(input_buf + 8);
+    char flags = input_buf[10];
+    pixels_declared = width * height;
+    long off = 13;
+    if (flags & 0x80) {
+        int bits = (flags & 7) + 1;
+        long entries = (long)1 << bits;
+        color_table_sizes[bits - 1]++;
+        if (off + entries * 3 > input_len) { exit(4); }
+        off += entries * 3;
+    }
+    while (off < input_len) {
+        char kind = input_buf[off];
+        off++;
+        if (kind == 0x3b) { got_trailer = 1; break; }
+        if (kind == 0x2c) { off = parse_image(off); }
+        else if (kind == 0x21) { off = parse_extension(off); }
+        else { exit(11); }
+    }
+    if (!got_trailer) { return 1; }
+    return 0;
+}
+"""
+
+
+def make_gif(width: int = 4, height: int = 4, with_gct: bool = True) -> bytes:
+    """Build a minimal-but-valid GIF89a."""
+    out = bytearray(b"GIF89a")
+    out += width.to_bytes(2, "little") + height.to_bytes(2, "little")
+    if with_gct:
+        out += bytes([0x80 | 0x01, 0, 0])          # GCT, 4 entries
+        out += bytes(4 * 3)                        # the table
+    else:
+        out += bytes([0, 0, 0])
+    # graphic control extension
+    out += bytes([0x21, 0xF9, 4, 0, 0, 0, 0, 0])
+    # image descriptor, no LCT
+    out += bytes([0x2C]) + bytes(4) + width.to_bytes(2, "little") + \
+        height.to_bytes(2, "little") + bytes([0])
+    out += bytes([2])                              # LZW min code size
+    out += bytes([3, 0x44, 0x01, 0x05, 0])         # one data sub-block + end
+    out += bytes([0x3B])                           # trailer
+    return bytes(out)
+
+
+def _seeds() -> list[bytes]:
+    with_comment = bytearray(make_gif(2, 2, with_gct=False))
+    # splice a comment extension before the trailer
+    trailer_at = len(with_comment) - 1
+    comment = bytes([0x21, 0xFE, 5]) + b"hello" + bytes([0])
+    patched = bytes(with_comment[:trailer_at]) + comment + b"\x3b"
+    return [
+        make_gif(4, 4, with_gct=True),
+        make_gif(8, 2, with_gct=False),
+        patched,
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="giftext",
+        input_format="gif",
+        image_bytes=232_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[],
+        description="GIF structure walker modelled on giflib's giftext",
+    )
+)

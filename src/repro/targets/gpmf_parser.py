@@ -1,0 +1,224 @@
+"""gpmf-parser stand-in: GoPro GPMF telemetry parser (Table 4, row 3).
+
+GPMF is a KLV (key-length-value) format embedded in GoPro MP4s: 4-byte
+FourCC key, 1-byte type, 1-byte structure size, 2-byte big-endian
+repeat count, then ``size*repeat`` payload bytes padded to 4.  Nested
+``DEVC`` containers hold streams of telemetry keys (SCAL, TSMP, ACCL,
+GPS5, MTRX...).
+
+Planted bugs mirror the paper's Table 7 gpmf-parser rows — two
+divisions by zero, two unaddressable accesses, one invalid write, one
+invalid read — each in its own function so crash dedup sees six
+distinct bugs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import PlantedBug, TargetSpec, register_target
+from repro.vm.errors import TrapKind
+
+SOURCE = r"""
+char input_buf[1024];
+long input_len;
+long samples_total;
+long scal_value;
+long tick_start;
+long tick_end;
+int keys_seen;
+int devices_seen;
+long accl_sum;
+long matrix_trace;
+
+long rd_u16be(char *p) {
+    return ((long)p[0] << 8) | (long)p[1];
+}
+
+long rd_u32be(char *p) {
+    return ((long)p[0] << 24) | ((long)p[1] << 16) | ((long)p[2] << 8) | (long)p[3];
+}
+
+int key_is(char *p, char a, char b, char c, char d) {
+    return p[0] == a && p[1] == b && p[2] == c && p[3] == d;
+}
+
+/* BUG gpmf-1: SCAL payload of zero divides the metric scaler. */
+long scale_metric(long raw) {
+    return raw * 1000 / scal_value;
+}
+
+/* BUG gpmf-2: equal TICK/TOCK timestamps zero the rate denominator. */
+long compute_rate() {
+    return samples_total * 1000 / (tick_end - tick_start);
+}
+
+/* BUG gpmf-3: GPS5 lookup offset is trusted and dereferenced far
+   outside the staged payload (unaddressable). */
+long read_payload(char *chunk, long chunk_len, long jump) {
+    long off = 4096 + jump * 64;
+    return (long)chunk[off];
+}
+
+/* BUG gpmf-4: DVID container back-reference seeks below the heap. */
+long seek_device(char *chunk, long back) {
+    char *p = chunk - 8192 - back * 512;
+    return (long)p[0];
+}
+
+/* BUG gpmf-5: sample staging writes 4-byte records into a buffer
+   sized by the (attacker-controlled) structure size. */
+long store_sample(char *payload, long size, long repeat) {
+    char *buf = (char*)malloc(size * repeat);
+    for (long i = 0; i < repeat; i++) {
+        long v = rd_u32be(payload + i * size);
+        buf[i * size] = (char)(v & 0xff);
+        buf[i * size + 1] = (char)((v >> 8) & 0xff);
+        buf[i * size + 2] = (char)((v >> 16) & 0xff);
+        buf[i * size + 3] = (char)(v >> 24);
+        accl_sum += v;
+    }
+    free(buf);
+    return repeat;
+}
+
+/* BUG gpmf-6: 3x3 matrix load assumes 36 payload bytes. */
+long load_matrix(char *payload, long payload_len) {
+    char *m = (char*)malloc(payload_len);
+    memcpy(m, payload, payload_len);
+    long trace = (long)m[0] + (long)m[16] + (long)m[32];
+    free(m);
+    return trace;
+}
+
+long parse_klv(long off, int depth) {
+    if (off + 8 > input_len) { exit(3); }
+    char *p = input_buf + off;
+    char type = p[4];
+    long size = (long)p[5];
+    long repeat = rd_u16be(p + 6);
+    long payload_len = size * repeat;
+    long padded = (payload_len + 3) & ~3;
+    if (off + 8 + payload_len > input_len) { exit(4); }
+    char *payload = p + 8;
+    keys_seen++;
+
+    if (key_is(p, 'D', 'E', 'V', 'C')) {
+        devices_seen++;
+        if (depth > 2) { exit(5); }
+        long inner = off + 8;
+        long end = off + 8 + payload_len;
+        while (inner + 8 <= end) {
+            inner = parse_klv(inner, depth + 1);
+        }
+        return off + 8 + padded;
+    }
+    if (key_is(p, 'S', 'C', 'A', 'L')) {
+        if (payload_len < 4) { exit(6); }
+        scal_value = rd_u32be(payload);
+        samples_total = scale_metric(samples_total + 1);
+    } else if (key_is(p, 'T', 'S', 'M', 'P')) {
+        if (payload_len < 4) { exit(7); }
+        samples_total += rd_u32be(payload);
+    } else if (key_is(p, 'T', 'I', 'C', 'K')) {
+        if (payload_len < 4) { exit(8); }
+        tick_start = rd_u32be(payload);
+    } else if (key_is(p, 'T', 'O', 'C', 'K')) {
+        if (payload_len < 4) { exit(9); }
+        tick_end = rd_u32be(payload);
+        if (tick_start || tick_end) {
+            samples_total += compute_rate();
+        }
+    } else if (key_is(p, 'A', 'C', 'C', 'L')) {
+        if (type != 's' || size < 2 || repeat < 1) { exit(10); }
+        store_sample(payload, size, repeat);
+    } else if (key_is(p, 'G', 'P', 'S', '5')) {
+        if (payload_len < 2) { exit(11); }
+        long jump = rd_u16be(payload);
+        if (jump > 8) {
+            samples_total += read_payload(payload, payload_len, jump);
+        }
+    } else if (key_is(p, 'D', 'V', 'I', 'D')) {
+        if (payload_len < 2) { exit(12); }
+        long back = rd_u16be(payload);
+        if (back > 4) {
+            samples_total += seek_device(payload, back);
+        }
+    } else if (key_is(p, 'M', 'T', 'R', 'X')) {
+        if (payload_len < 4) { exit(13); }
+        matrix_trace = load_matrix(payload, payload_len);
+    }
+    return off + 8 + padded;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1024, f);
+    fclose(f);
+    if (input_len < 8) { exit(2); }
+    if (!key_is(input_buf, 'D', 'E', 'V', 'C')) { exit(14); }
+    long off = 0;
+    while (off + 8 <= input_len) {
+        off = parse_klv(off, 0);
+    }
+    return keys_seen > 2 ? 0 : 1;
+}
+"""
+
+
+def klv(key: bytes, type_: bytes, size: int, repeat: int, payload: bytes) -> bytes:
+    padded = payload + bytes((-len(payload)) % 4)
+    return key + type_ + bytes([size]) + struct.pack(">H", repeat) + padded
+
+
+def _stream(*entries: bytes) -> bytes:
+    body = b"".join(entries)
+    return klv(b"DEVC", b"\x00", 1, len(body), body)
+
+
+def _seeds() -> list[bytes]:
+    scal = klv(b"SCAL", b"l", 4, 1, struct.pack(">I", 9))
+    tsmp = klv(b"TSMP", b"L", 4, 1, struct.pack(">I", 100))
+    # TICK and TOCK one byte apart: a single-byte mutation (or a havoc
+    # block copy) equalises them, arming the rate divide-by-zero.
+    tick = klv(b"TICK", b"L", 4, 1, struct.pack(">I", 0x11223344))
+    tock = klv(b"TOCK", b"L", 4, 1, struct.pack(">I", 0x11223544))
+    accl = klv(b"ACCL", b"s", 4, 3, struct.pack(">III", 1, 2, 3))
+    gps5 = klv(b"GPS5", b"l", 4, 2, struct.pack(">HH", 2, 0) + bytes(4))
+    dvid = klv(b"DVID", b"L", 4, 1, struct.pack(">HH", 1, 0))
+    mtrx = klv(b"MTRX", b"f", 4, 9, struct.pack(">9I", *range(9)))
+    return [
+        _stream(scal, tsmp, accl),
+        _stream(tick, tock, tsmp),
+        _stream(gps5, dvid),
+        _stream(mtrx, scal),
+        _stream(scal, tick, tock, accl, gps5),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="gpmf-parser",
+        input_format="mp4 (GoPro)",
+        image_bytes=720_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[
+            PlantedBug("gpmf-1", "SCAL of zero divides metric scaler",
+                       TrapKind.DIV_BY_ZERO, "scale_metric", "Division by Zero"),
+            PlantedBug("gpmf-2", "TICK==TOCK zeroes rate denominator",
+                       TrapKind.DIV_BY_ZERO, "compute_rate", "Division by Zero"),
+            PlantedBug("gpmf-3", "GPS5 jump offset dereferenced unchecked",
+                       TrapKind.UNADDRESSABLE, "read_payload", "Unaddressable Access"),
+            PlantedBug("gpmf-4", "DVID back-reference seeks below heap",
+                       TrapKind.UNADDRESSABLE, "seek_device", "Unaddressable Access"),
+            PlantedBug("gpmf-5", "ACCL staging writes 4-byte records into "
+                       "size*repeat buffer with size<4",
+                       TrapKind.INVALID_WRITE, "store_sample", "Invalid Write"),
+            PlantedBug("gpmf-6", "MTRX trace assumes 36 payload bytes",
+                       TrapKind.INVALID_READ, "load_matrix", "Invalid Read"),
+        ],
+        description="GPMF KLV telemetry parser modelled on gpmf-parser",
+    )
+)

@@ -1,0 +1,217 @@
+"""libbpf stand-in: BPF ELF object loader (paper Table 4, row 4).
+
+libbpf parses ELF object files containing BPF programs: the ELF header,
+the section header table, symbol/string tables, map definitions in a
+``maps`` section, and relocation sections that patch instruction
+operands.  The paper's flagship 0-day was a NULL-pointer dereference
+while parsing the relocation section of a malformed ELF — reproduced
+here as ``parse_relocs`` (bug libbpf-1), alongside two further NULL
+dereferences matching Table 7's three libbpf rows.
+
+ELF32 little-endian layout used:
+  header: magic(4) .. e_shoff@32(u32) .. e_shnum@48(u16)
+  section header (40 B): name(4) type(4) flags(4) addr(4) off(4)
+                         size(4) link(4) info(4) align(4) entsize(4)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import PlantedBug, TargetSpec, register_target
+from repro.vm.errors import TrapKind
+
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_REL = 9
+SHT_PROGBITS = 1
+
+SOURCE = r"""
+struct Section {
+    long type;
+    long offset;
+    long size;
+    long entsize;
+};
+
+char input_buf[1024];
+long input_len;
+int section_count;
+long relocs_applied;
+long symbols_resolved;
+long maps_loaded;
+long progs_seen;
+struct Section *sections;
+
+long rd_u32(char *p) {
+    return (long)p[0] | ((long)p[1] << 8) | ((long)p[2] << 16) | ((long)p[3] << 24);
+}
+
+long rd_u16(char *p) {
+    return (long)p[0] | ((long)p[1] << 8);
+}
+
+struct Section *find_section_by_type(long type) {
+    for (int i = 0; i < section_count; i++) {
+        if (sections[i].type == type) { return &sections[i]; }
+    }
+    return (struct Section*)NULL;
+}
+
+/* BUG libbpf-1 (the paper's quick find): the relocation parser grabs
+   the symbol table without checking it exists. */
+long parse_relocs(struct Section *rel) {
+    struct Section *symtab = find_section_by_type(2);
+    long nsyms = symtab->size / 16;          /* NULL deref when absent */
+    long count = rel->entsize ? rel->size / rel->entsize : 0;
+    for (long i = 0; i < count && i < 4; i++) {
+        long off = rel->offset + i * rel->entsize;
+        if (off + 8 > input_len) { exit(8); }
+        long r_sym = rd_u32(input_buf + off + 4) >> 8;
+        if (r_sym < nsyms) { relocs_applied++; }
+    }
+    return count;
+}
+
+/* BUG libbpf-2: symbol resolution trusts that a string table exists. */
+long resolve_symbol(long sym_index) {
+    struct Section *symtab = find_section_by_type(2);
+    if (!symtab) { exit(9); }
+    long off = symtab->offset + sym_index * 16;
+    if (off + 16 > input_len) { exit(10); }
+    long name_off = rd_u32(input_buf + off);
+    struct Section *strtab = find_section_by_type(3);
+    long str_at = strtab->offset + name_off;   /* NULL deref when absent */
+    if (str_at >= input_len) { return 0; }
+    symbols_resolved++;
+    return (long)input_buf[str_at];
+}
+
+/* BUG libbpf-3: map definitions shorter than 16 bytes yield a NULL
+   def pointer that is dereferenced anyway. */
+char *get_map_def(struct Section *maps, long index) {
+    long off = maps->offset + index * 16;
+    if (off + 16 > input_len) { return (char*)NULL; }
+    return input_buf + off;
+}
+
+long load_maps(struct Section *maps) {
+    long count = maps->size / 16;
+    for (long i = 0; i <= count && i < 8; i++) {
+        char *def = get_map_def(maps, i);
+        long map_type = (long)def[0];            /* NULL deref off-by-one */
+        long key_size = rd_u32(def + 4);
+        if (map_type > 30) { exit(11); }
+        if (key_size > 512) { exit(12); }
+        maps_loaded++;
+    }
+    return count;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1024, f);
+    fclose(f);
+    if (input_len < 52) { exit(2); }
+    if (input_buf[0] != 0x7f || input_buf[1] != 'E'
+        || input_buf[2] != 'L' || input_buf[3] != 'F') { exit(3); }
+    if (input_buf[4] != 1) { exit(4); }          /* ELFCLASS32 */
+    long shoff = rd_u32(input_buf + 32);
+    long shnum = rd_u16(input_buf + 48);
+    if (shnum == 0 || shnum > 12) { exit(5); }
+    if (shoff + shnum * 40 > input_len) { exit(6); }
+
+    sections = (struct Section*)malloc(shnum * 32);
+    section_count = (int)shnum;
+    for (long i = 0; i < shnum; i++) {
+        char *sh = input_buf + shoff + i * 40;
+        sections[i].type = rd_u32(sh + 4);
+        sections[i].offset = rd_u32(sh + 16);
+        sections[i].size = rd_u32(sh + 20);
+        sections[i].entsize = rd_u32(sh + 36);
+        if (sections[i].offset > input_len) { exit(7); }  /* leaks sections */
+    }
+
+    for (int i = 0; i < section_count; i++) {
+        long type = sections[i].type;
+        if (type == 9) {
+            parse_relocs(&sections[i]);
+        } else if (type == 1) {
+            progs_seen++;
+            if (sections[i].size >= 8 && sections[i].entsize == 8) {
+                resolve_symbol(0);
+            }
+        } else if (type == 6) {
+            load_maps(&sections[i]);
+        }
+    }
+    free(sections);
+    return progs_seen > 0 ? 0 : 1;
+}
+"""
+
+
+def _elf(sections: list[tuple[int, int, bytes, int, int]],
+         extra: bytes = b"") -> bytes:
+    """Build a little ELF32: sections = [(type, name_off, payload, link,
+    entsize)]."""
+    header_size = 52
+    payloads = b""
+    offsets = []
+    cursor = header_size
+    for _type, _name, payload, _link, _entsize in sections:
+        offsets.append(cursor)
+        payloads += payload
+        cursor += len(payload)
+    shoff = cursor
+    out = bytearray()
+    out += b"\x7fELF" + bytes([1, 1, 1]) + bytes(9)      # ident
+    out += struct.pack("<HHI", 1, 247, 1)                 # ET_REL, EM_BPF
+    out += struct.pack("<III", 0, 0, shoff)               # entry, phoff, shoff
+    out += struct.pack("<IHHHHHH", 0, header_size, 0, 0, 40,
+                       len(sections), 0)
+    assert len(out) == header_size
+    out += payloads
+    for (stype, name_off, payload, link, entsize), off in zip(sections, offsets):
+        out += struct.pack("<10I", name_off, stype, 0, 0, off,
+                           len(payload), link, 0, 4, entsize)
+    return bytes(out) + extra
+
+
+def _seeds() -> list[bytes]:
+    symtab = bytes(32)                       # two 16-byte symbols
+    strtab = b"\x00main\x00license\x00"
+    prog = struct.pack("<8B", 0xB7, 0, 0, 0, 1, 0, 0, 0) * 2   # 2 insns
+    rel = struct.pack("<II", 0, (1 << 8) | 1)                   # one rel entry
+    maps = struct.pack("<IIII", 2, 4, 8, 16)                    # one map def
+    return [
+        _elf([(SHT_SYMTAB, 6, symtab, 2, 16),
+              (SHT_STRTAB, 14, strtab, 0, 0)]),
+        _elf([(SHT_PROGBITS, 1, prog, 0, 8),
+              (SHT_SYMTAB, 6, symtab, 2, 16),
+              (SHT_STRTAB, 14, strtab, 0, 0),
+              (SHT_REL, 20, rel, 1, 8)]),
+        _elf([(6, 26, maps, 0, 16),
+              (SHT_SYMTAB, 6, symtab, 2, 16)]),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="libbpf",
+        input_format="bpf object",
+        image_bytes=1_900_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[
+            PlantedBug("libbpf-1", "relocation parse derefs missing symtab",
+                       TrapKind.NULL_DEREF, "parse_relocs", "Null Ptr Deref."),
+            PlantedBug("libbpf-2", "symbol resolve derefs missing strtab",
+                       TrapKind.NULL_DEREF, "resolve_symbol", "Null Ptr Deref."),
+            PlantedBug("libbpf-3", "off-by-one map index derefs NULL def",
+                       TrapKind.NULL_DEREF, "load_maps", "Null Ptr Deref."),
+        ],
+        description="BPF ELF object loader modelled on libbpf",
+    )
+)

@@ -1,0 +1,185 @@
+"""libdwarf stand-in: DWARF debug-info reader over ELF (Table 4, row 8).
+
+libdwarf consumes ELF objects and parses their ``.debug_info`` DIE
+trees.  This target does the ELF section walk (sharing the ELF32
+layout with the libbpf target — both real libraries share that
+substrate too), locates ``.debug_info`` and ``.debug_abbrev``-style
+payloads by section type tags, and walks a compilation-unit header plus
+a DIE tree: ULEB128 abbrev codes, attribute forms, and sibling chains
+with bounded depth.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import TargetSpec, register_target
+
+SOURCE = r"""
+char input_buf[1024];
+long input_len;
+int dies_seen;
+int attrs_seen;
+int max_depth_seen;
+long cu_length;
+int strings_touched;
+long uleb_cursor;
+
+long rd_u32(char *p) {
+    return (long)p[0] | ((long)p[1] << 8) | ((long)p[2] << 16) | ((long)p[3] << 24);
+}
+
+long rd_u16(char *p) {
+    return (long)p[0] | ((long)p[1] << 8);
+}
+
+long read_uleb(long off) {
+    long result = 0;
+    int shift = 0;
+    while (off < input_len && shift < 35) {
+        char byte = input_buf[off];
+        off++;
+        result = result | (((long)byte & 0x7f) << shift);
+        shift += 7;
+        if ((byte & 0x80) == 0) {
+            uleb_cursor = off;
+            return result;
+        }
+    }
+    exit(8);
+    return 0;
+}
+
+long walk_die(long off, long end, int depth) {
+    if (depth > 6) { exit(9); }
+    if (depth > max_depth_seen) { max_depth_seen = depth; }
+    long code = read_uleb(off);
+    off = uleb_cursor;
+    if (code == 0) { return off; }            /* null DIE: end of siblings */
+    dies_seen++;
+    long nattrs = read_uleb(off);
+    off = uleb_cursor;
+    if (nattrs > 8) { exit(10); }
+    for (long i = 0; i < nattrs; i++) {
+        if (off >= end) { exit(11); }
+        char form = input_buf[off];
+        off++;
+        attrs_seen++;
+        if (form == 0x0b) { off += 1; }        /* data1 */
+        else if (form == 0x05) { off += 2; }   /* data2 */
+        else if (form == 0x06) { off += 4; }   /* data4 */
+        else if (form == 0x08) {               /* inline string */
+            while (off < end && input_buf[off]) { off++; }
+            off++;
+            strings_touched++;
+        } else if (form == 0x0e) { off += 4; } /* strp */
+        else { exit(12); }
+    }
+    int has_children = (int)(code & 1);
+    if (has_children) {
+        while (off < end) {
+            long next = walk_die(off, end, depth + 1);
+            if (next == off) { break; }
+            long peek = read_uleb(off);
+            off = next;
+            if (peek == 0) { break; }
+        }
+    }
+    return off;
+}
+
+long parse_debug_info(long off, long size) {
+    long end = off + size;
+    if (off + 11 > end) { exit(6); }
+    cu_length = rd_u32(input_buf + off);
+    long version = rd_u16(input_buf + off + 4);
+    if (version < 2 || version > 5) { exit(7); }
+    char *cu_copy = (char*)malloc(size + 1);
+    memcpy(cu_copy, input_buf + off, size);
+    long cursor = off + 11;
+    while (cursor < end) {
+        long next = walk_die(cursor, end, 0);
+        if (next <= cursor) { break; }
+        cursor = next;
+    }
+    free(cu_copy);
+    return cursor;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1024, f);
+    fclose(f);
+    if (input_len < 52) { exit(2); }
+    if (input_buf[0] != 0x7f || input_buf[1] != 'E'
+        || input_buf[2] != 'L' || input_buf[3] != 'F') { exit(3); }
+    long shoff = rd_u32(input_buf + 32);
+    long shnum = rd_u16(input_buf + 48);
+    if (shnum == 0 || shnum > 12) { exit(4); }
+    if (shoff + shnum * 40 > input_len) { exit(5); }
+    int found = 0;
+    for (long i = 0; i < shnum; i++) {
+        char *sh = input_buf + shoff + i * 40;
+        long type = rd_u32(sh + 4);
+        long off = rd_u32(sh + 16);
+        long size = rd_u32(sh + 20);
+        if (off + size > input_len) { exit(13); }
+        if (type == 0x70000001) {              /* our .debug_info tag */
+            parse_debug_info(off, size);
+            found++;
+        }
+    }
+    return found > 0 && dies_seen > 0 ? 0 : 1;
+}
+"""
+
+
+def _elf_with_debug(debug_payload: bytes) -> bytes:
+    header_size = 52
+    off = header_size
+    out = bytearray()
+    out += b"\x7fELF" + bytes([1, 1, 1]) + bytes(9)
+    out += struct.pack("<HHI", 1, 62, 1)
+    out += struct.pack("<III", 0, 0, off + len(debug_payload))
+    out += struct.pack("<IHHHHHH", 0, header_size, 0, 0, 40, 1, 0)
+    out += debug_payload
+    out += struct.pack("<10I", 1, 0x70000001, 0, 0, off,
+                       len(debug_payload), 0, 0, 4, 0)
+    return bytes(out)
+
+
+def _cu(dies: bytes) -> bytes:
+    body_len = 7 + len(dies)
+    return struct.pack("<IHBI", body_len, 4, 8, 0)[:11] + dies
+
+
+def _die(code: int, attrs: list[tuple[int, bytes]]) -> bytes:
+    out = bytes([code, len(attrs)])
+    for form, payload in attrs:
+        out += bytes([form]) + payload
+    return out
+
+
+def _seeds() -> list[bytes]:
+    simple = _die(2, [(0x0B, b"\x07")])
+    with_string = _die(2, [(0x08, b"mn\x00")])
+    parent = _die(3, [(0x0B, b"\x01")]) + simple + b"\x00"
+    return [
+        _elf_with_debug(_cu(simple + b"\x00")),
+        _elf_with_debug(_cu(with_string + simple + b"\x00")),
+        _elf_with_debug(_cu(parent + b"\x00")),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="libdwarf",
+        input_format="ELF",
+        image_bytes=2_800,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[],
+        description="DWARF DIE-tree walker modelled on libdwarf",
+    )
+)

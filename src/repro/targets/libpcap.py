@@ -1,0 +1,157 @@
+"""libpcap stand-in: a pcap savefile reader (paper Table 4, row 2).
+
+Parses the classic libpcap capture format: a global header with the
+``0xa1b2c3d4`` magic (either byte order), version check, snaplen, and
+link type, followed by per-packet record headers.  Packet payloads are
+staged through heap buffers and a link-type dispatch inspects Ethernet
+and IPv4 framing, mirroring how pcap consumers walk captures.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import TargetSpec, register_target
+
+SOURCE = r"""
+char input_buf[1400];
+long input_len;
+int swapped;
+long packets_seen;
+long bytes_captured;
+long truncated_packets;
+int linktype;
+int proto_counts[8];
+
+long rd_u32(char *p) {
+    if (swapped) {
+        return ((long)p[0] << 24) | ((long)p[1] << 16) | ((long)p[2] << 8) | (long)p[3];
+    }
+    return (long)p[0] | ((long)p[1] << 8) | ((long)p[2] << 16) | ((long)p[3] << 24);
+}
+
+long rd_u16be(char *p) {
+    return ((long)p[0] << 8) | (long)p[1];
+}
+
+long ip_checksum(char *ip, long words) {
+    long sum = 0;
+    for (long i = 0; i < words; i++) {
+        sum += ((long)ip[i * 2] << 8) | (long)ip[i * 2 + 1];
+    }
+    while (sum > 0xffff) { sum = (sum & 0xffff) + (sum >> 16); }
+    return sum;
+}
+
+void inspect_ethernet(char *pkt, long caplen) {
+    if (caplen < 14) { truncated_packets++; return; }
+    long ethertype = rd_u16be(pkt + 12);
+    if (ethertype == 0x0800) {
+        proto_counts[1]++;
+        if (caplen >= 34) {
+            char ihl = pkt[14] & 0x0f;
+            char proto = pkt[23];
+            if (ihl < 5) { exit(6); }
+            long csum = ip_checksum(pkt + 14, (long)ihl * 2);
+            bytes_captured += csum & 1;
+            if (proto == 6) { proto_counts[2]++; }
+            else if (proto == 17) { proto_counts[3]++; }
+            else { proto_counts[4]++; }
+        }
+    } else if (ethertype == 0x0806) {
+        proto_counts[5]++;
+    } else {
+        proto_counts[6]++;
+    }
+}
+
+long process_packet(long off, long snaplen) {
+    char *rec = input_buf + off;
+    long caplen = rd_u32(rec + 8);
+    long origlen = rd_u32(rec + 12);
+    if (caplen > snaplen) { exit(4); }
+    if (caplen > origlen) { exit(5); }
+    if (off + 16 + caplen > input_len) {
+        truncated_packets++;
+        return -1;
+    }
+    char *copy = (char*)malloc(caplen + 1);
+    memcpy(copy, rec + 16, caplen);
+    copy[caplen] = 0;
+    if (linktype == 1) {
+        inspect_ethernet(copy, caplen);
+    } else {
+        proto_counts[7]++;
+    }
+    bytes_captured += caplen;
+    packets_seen++;
+    if ((packets_seen & 3) == 3) {
+        /* simulated sampling path forgets to release the copy */
+        return caplen;
+    }
+    free(copy);
+    return caplen;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1400, f);
+    if (input_len < 24) { exit(2); }
+    long magic = (long)input_buf[0] | ((long)input_buf[1] << 8)
+               | ((long)input_buf[2] << 16) | ((long)input_buf[3] << 24);
+    if (magic == 0xa1b2c3d4) { swapped = 0; }
+    else if (magic == 0xd4c3b2a1) { swapped = 1; }
+    else { exit(3); }              /* FILE handle leaks here */
+    long vmajor = swapped ? rd_u32(input_buf + 4) >> 16 : ((long)input_buf[4] | ((long)input_buf[5] << 8));
+    if (vmajor != 2) { exit(7); }
+    long snaplen = rd_u32(input_buf + 16);
+    linktype = (int)rd_u32(input_buf + 20);
+    fclose(f);
+    long off = 24;
+    while (off + 16 <= input_len) {
+        long caplen = process_packet(off, snaplen);
+        if (caplen < 0) { break; }
+        off += 16 + caplen;
+    }
+    return packets_seen > 0 ? 0 : 1;
+}
+"""
+
+
+def make_pcap(packets: list[bytes], snaplen: int = 256, linktype: int = 1) -> bytes:
+    """Build a little-endian pcap capture."""
+    out = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, snaplen, linktype)
+    for payload in packets:
+        out += struct.pack("<IIII", 0, 0, len(payload), len(payload)) + payload
+    return out
+
+
+def _ethernet_ipv4(proto: int) -> bytes:
+    eth = b"\xaa" * 6 + b"\xbb" * 6 + b"\x08\x00"
+    ip = bytes([0x45, 0]) + struct.pack(">H", 40) + b"\x00" * 4 + bytes([64, proto]) + b"\x00" * 12
+    return eth + ip + b"\x00" * 8
+
+
+def _seeds() -> list[bytes]:
+    return [
+        make_pcap([_ethernet_ipv4(6), _ethernet_ipv4(17)]),
+        make_pcap([_ethernet_ipv4(17), _ethernet_ipv4(6), _ethernet_ipv4(1),
+                   _ethernet_ipv4(6)]),
+        make_pcap([b"\xaa" * 6 + b"\xbb" * 6 + b"\x08\x06" + b"\x00" * 28,
+                   _ethernet_ipv4(6)]),
+        make_pcap([], snaplen=64),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="libpcap",
+        input_format="pcap",
+        image_bytes=2_400_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[],
+        description="pcap savefile reader modelled on libpcap",
+    )
+)

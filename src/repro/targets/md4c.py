@@ -1,0 +1,168 @@
+"""md4c stand-in: a Markdown block/inline parser (paper Table 4, row 10).
+
+md4c is a SAX-style CommonMark parser.  This target implements the same
+shape of work: line splitting, block classification (ATX headings,
+fenced code, block quotes, lists, paragraphs), and inline scanning for
+emphasis, code spans, and reference links.
+
+Planted bugs mirror Table 7's two md4c rows: a ``memcpy`` with negative
+size when a heading line consists only of ``#`` markers, and an
+out-of-bounds write into a global link-reference table.
+"""
+
+from __future__ import annotations
+
+from repro.targets.framework import PlantedBug, TargetSpec, register_target
+from repro.vm.errors import TrapKind
+
+SOURCE = r"""
+char input_buf[1024];
+long input_len;
+int headings[7];
+int code_blocks;
+int quotes;
+int list_items;
+int paragraphs;
+int emphasis_spans;
+int code_spans;
+int links_seen;
+int ref_table[32];
+char heading_text[128];
+int in_fence;
+
+/* BUG md4c-1: a line of only '#' markers makes len - level - 1
+   negative, which flows into memcpy's size. */
+void copy_heading(char *line, long len, long level) {
+    long body = len - level - 1;
+    if (body > 120) { body = 120; }
+    memcpy(heading_text, line + level + 1, body);
+    heading_text[body > 0 ? body : 0] = 0;
+}
+
+/* BUG md4c-2: reference ids index the ref table unchecked. */
+void resolve_ref(long id) {
+    ref_table[id]++;
+    links_seen++;
+}
+
+void scan_inline(char *line, long len) {
+    long i = 0;
+    while (i < len) {
+        char c = line[i];
+        if (c == '*' || c == '_') {
+            long j = i + 1;
+            while (j < len && line[j] != c) { j++; }
+            if (j < len) { emphasis_spans++; i = j; }
+        } else if (c == '`') {
+            long j = i + 1;
+            while (j < len && line[j] != '`') { j++; }
+            if (j < len) { code_spans++; i = j; }
+        } else if (c == '[') {
+            long j = i + 1;
+            long id = 0;
+            int digits = 0;
+            while (j < len && line[j] != ']') {
+                if (line[j] >= '0' && line[j] <= '9') {
+                    id = id * 10 + (long)(line[j] - '0');
+                    digits++;
+                }
+                j++;
+            }
+            if (j < len && digits > 0 && digits < 3) {
+                resolve_ref(id % 48);
+                i = j;
+            }
+        }
+        i++;
+    }
+}
+
+void handle_line(char *line, long len) {
+    if (len == 0) { return; }
+    if (in_fence) {
+        if (len >= 3 && line[0] == '`' && line[1] == '`' && line[2] == '`') {
+            in_fence = 0;
+        }
+        return;
+    }
+    if (line[0] == '#') {
+        long level = 0;
+        while (level < len && line[level] == '#') { level++; }
+        if (level > 6) { exit(3); }
+        headings[level]++;
+        copy_heading(line, len, level);
+        scan_inline(heading_text, strlen(heading_text));
+        return;
+    }
+    if (len >= 3 && line[0] == '`' && line[1] == '`' && line[2] == '`') {
+        in_fence = 1;
+        code_blocks++;
+        return;
+    }
+    if (line[0] == '>') {
+        quotes++;
+        scan_inline(line + 1, len - 1);
+        return;
+    }
+    if ((line[0] == '-' || line[0] == '*') && len > 1 && line[1] == ' ') {
+        list_items++;
+        scan_inline(line + 2, len - 2);
+        return;
+    }
+    paragraphs++;
+    scan_inline(line, len);
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1024, f);
+    fclose(f);
+    if (input_len == 0) { exit(2); }
+    long start = 0;
+    for (long i = 0; i <= input_len; i++) {
+        if (i == input_len || input_buf[i] == '\n') {
+            handle_line(input_buf + start, i - start);
+            start = i + 1;
+        }
+    }
+    return paragraphs + headings[1] + headings[2] > 0 ? 0 : 1;
+}
+"""
+
+_SEED_DOC = b"""# T
+*em* `c` [2]
+> q
+"""
+
+_SEED_REFS = b"""### R [3] [9]
+[30] x [31] y [29]
+"""
+
+_SEED_MIXED = b"""#### Deep
+* li **b** [5]
+"""
+
+
+def _seeds() -> list[bytes]:
+    return [_SEED_DOC, _SEED_REFS, _SEED_MIXED]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="md4c",
+        input_format="markdown",
+        image_bytes=652_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[
+            PlantedBug("md4c-1", "all-# heading line drives memcpy size negative",
+                       TrapKind.NEGATIVE_MEMCPY, "copy_heading",
+                       "Memcpy with negative size"),
+            PlantedBug("md4c-2", "reference id 32..47 overruns ref_table",
+                       TrapKind.ARRAY_OOB, "resolve_ref",
+                       "Array out of bounds access"),
+        ],
+        description="CommonMark-style parser modelled on md4c",
+    )
+)

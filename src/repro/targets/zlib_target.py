@@ -1,0 +1,151 @@
+"""zlib stand-in: a zlib-wrapped DEFLATE stream walker (Table 4, row 7).
+
+Checks the RFC 1950 two-byte header (compression method 8, window
+bits, ``(CMF*256+FLG) % 31 == 0``, optional preset dictionary), then
+walks DEFLATE blocks: stored blocks with the LEN/~NLEN consistency
+check, and a structural scan standing in for fixed/dynamic Huffman
+decode.  The running Adler-32 state lives in globals, a window buffer
+on the heap.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.targets.framework import TargetSpec, register_target
+
+SOURCE = r"""
+char input_buf[1200];
+long input_len;
+long adler_a;
+long adler_b;
+int stored_blocks;
+int fixed_blocks;
+int dynamic_blocks;
+long output_bytes;
+int saw_final;
+
+void adler_update(char *p, long len) {
+    for (long i = 0; i < len; i++) {
+        adler_a = (adler_a + (long)p[i]) % 65521;
+        adler_b = (adler_b + adler_a) % 65521;
+    }
+}
+
+long stored_block(long off) {
+    if (off + 4 > input_len) { exit(6); }
+    long len = (long)input_buf[off] | ((long)input_buf[off + 1] << 8);
+    long nlen = (long)input_buf[off + 2] | ((long)input_buf[off + 3] << 8);
+    if ((len ^ 0xffff) != nlen) { exit(7); }
+    off += 4;
+    if (off + len > input_len) { exit(8); }
+    if (len > 512) { exit(9); }
+    char *window = (char*)malloc(len + 1);
+    memcpy(window, input_buf + off, len);
+    adler_update(window, len > 8 ? 8 : len);
+    output_bytes += len;
+    stored_blocks++;
+    free(window);
+    return off + len;
+}
+
+long huffman_block(long off, int dynamic) {
+    /* structural scan standing in for Huffman decode: consume symbols
+       until a 0x00 end-of-block byte */
+    long scanned = 0;
+    while (off < input_len && scanned < 256) {
+        char sym = input_buf[off];
+        off++;
+        scanned++;
+        if (sym == 0) { break; }
+        if (sym >= 0x80) {
+            /* back-reference: distance byte must follow */
+            if (off >= input_len) { exit(10); }
+            char dist = input_buf[off];
+            off++;
+            if (dist == 0) { exit(11); }
+            output_bytes += (long)(sym & 0x7f);
+        } else {
+            output_bytes += 1;
+        }
+    }
+    if (dynamic) { dynamic_blocks++; } else { fixed_blocks++; }
+    adler_update(input_buf, input_len > 4 ? 4 : input_len);
+    return off;
+}
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    input_len = fread(input_buf, 1, 1200, f);
+    fclose(f);
+    if (input_len < 6) { exit(2); }
+    long cmf = (long)input_buf[0];
+    long flg = (long)input_buf[1];
+    if ((cmf & 0x0f) != 8) { exit(3); }
+    if (((cmf >> 4) & 0x0f) > 7) { exit(4); }
+    if ((cmf * 256 + flg) % 31 != 0) { exit(5); }
+    long off = 2;
+    if (flg & 0x20) { off += 4; }          /* preset dictionary id */
+    adler_a = 1;
+    adler_b = 0;
+    int blocks = 0;
+    while (off < input_len && blocks < 8) {
+        char hdr = input_buf[off];
+        off++;
+        int bfinal = hdr & 1;
+        int btype = (hdr >> 1) & 3;
+        if (btype == 0) { off = stored_block(off); }
+        else if (btype == 1) { off = huffman_block(off, 0); }
+        else if (btype == 2) { off = huffman_block(off, 1); }
+        else { exit(12); }
+        blocks++;
+        if (bfinal) { saw_final = 1; break; }
+    }
+    if (!saw_final) { return 1; }
+    return 0;
+}
+"""
+
+
+def _zlib_header(level: int = 0) -> bytes:
+    cmf = 0x78
+    flg = (level << 6) | 0
+    rem = (cmf * 256 + flg) % 31
+    if rem:
+        flg += 31 - rem
+    return bytes([cmf, flg])
+
+
+def make_stream(blocks: list[bytes], kinds: list[int]) -> bytes:
+    out = bytearray(_zlib_header())
+    for i, (payload, kind) in enumerate(zip(blocks, kinds)):
+        final = 1 if i == len(blocks) - 1 else 0
+        out.append(final | (kind << 1))
+        if kind == 0:
+            out += struct.pack("<HH", len(payload), len(payload) ^ 0xFFFF)
+            out += payload
+        else:
+            out += payload + b"\x00"
+    return bytes(out)
+
+
+def _seeds() -> list[bytes]:
+    return [
+        make_stream([b"hello, z"], [0]),
+        make_stream([b"\x12\x23\x41", b"tail"], [1, 0]),
+        make_stream([b"\x90\x04\x33", b"\x11"], [2, 1]),
+    ]
+
+
+SPEC = register_target(
+    TargetSpec(
+        name="zlib",
+        input_format="zlib archive",
+        image_bytes=260_000,
+        source=SOURCE,
+        seeds=_seeds(),
+        bugs=[],
+        description="zlib/DEFLATE stream walker modelled on zlib",
+    )
+)

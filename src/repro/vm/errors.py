@@ -1,0 +1,102 @@
+"""Trap and termination taxonomy for the MiniVM.
+
+The VM communicates target behaviour to the execution layer through
+exceptions:
+
+- :class:`VMTrap` — a crash (the fuzzer's signal of a bug).  The
+  ``kind`` values mirror the bug types reported in the paper's Table 7
+  (null-pointer dereference, division by zero, unaddressable access,
+  invalid read/write, negative-size memcpy, out-of-bounds array
+  access) plus memory-lifecycle faults surfaced by the memcheck layer.
+- :class:`ProcessExit` — the target called ``exit()`` (not hooked); in
+  a real process this tears the process down, so persistent executors
+  must respawn.
+- :class:`HarnessExit` — the target called ClosureX's ``exitHook``; the
+  Python-level harness catches this, which models the
+  ``setjmp``/``longjmp`` unwind of the paper's Listing 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TrapKind(enum.Enum):
+    """Crash classes; names chosen to match Table 7's bug-type labels."""
+
+    NULL_DEREF = "Null Ptr Deref."
+    DIV_BY_ZERO = "Division by Zero"
+    UNADDRESSABLE = "Unaddressable Access"
+    INVALID_READ = "Invalid Read"
+    INVALID_WRITE = "Invalid Write"
+    NEGATIVE_MEMCPY = "Memcpy with negative size"
+    ARRAY_OOB = "Array out of bounds access"
+    USE_AFTER_FREE = "Use After Free"
+    DOUBLE_FREE = "Double Free"
+    INVALID_FREE = "Invalid Free"
+    OUT_OF_MEMORY = "Out of Memory"
+    FD_EXHAUSTED = "File Descriptors Exhausted"
+    STACK_OVERFLOW = "Stack Overflow"
+    ABORT = "Abort"
+    UNREACHABLE = "Unreachable Executed"
+    ASSERT_FAIL = "Assertion Failure"
+
+
+@dataclass(frozen=True)
+class CrashSite:
+    """Where a trap fired; the identity used for crash deduplication."""
+
+    function: str
+    block: str
+
+    def __str__(self) -> str:
+        return f"@{self.function}:%{self.block}"
+
+
+class VMError(Exception):
+    """Base class for all VM-raised exceptions."""
+
+
+class VMTrap(VMError):
+    """The target crashed."""
+
+    def __init__(self, kind: TrapKind, message: str, site: object | None = None):
+        self.kind = kind
+        self.message = message
+        # Normalise into an immutable CrashSite: callers may pass the
+        # VM's shared mutable location holder, which keeps the hot path
+        # allocation-free while faults still capture a stable site.
+        if site is None:
+            self.site = CrashSite("<unknown>", "<unknown>")
+        else:
+            self.site = CrashSite(site.function, site.block)
+        super().__init__(f"{kind.value} at {self.site}: {message}")
+
+    def identity(self) -> tuple[TrapKind, str, str]:
+        """Deduplication key: same kind at the same site is one bug."""
+        return (self.kind, self.site.function, self.site.block)
+
+
+class ProcessExit(VMError):
+    """Target invoked ``exit(code)`` — process-level termination."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"exit({code})")
+
+
+class HarnessExit(VMError):
+    """Target invoked ClosureX's exitHook — longjmp back to the harness."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"exitHook({code})")
+
+
+class ExecutionLimitExceeded(VMError):
+    """Instruction budget exhausted (hang detection, like AFL timeouts)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"execution exceeded {limit} instructions")

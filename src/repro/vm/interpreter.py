@@ -1,0 +1,547 @@
+"""The MiniVM interpreter: executes MiniIR modules.
+
+One :class:`VM` instance models one OS process executing one loaded
+binary.  Loading lays global variables out into per-section memory
+regions (``.rodata`` / ``.data`` / ``.bss`` / ``closure_global_section``),
+exactly the contract ClosureX's GlobalPass and harness rely on.
+
+Execution is a recursive-descent interpretation of the in-memory IR.
+All values are Python ints in unsigned representation; pointers are
+addresses in the VM's address space.  Every executed instruction
+charges virtual nanoseconds to the VM clock, which is what the
+simulated-OS cost model and the throughput experiments (Table 5) are
+built on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import ArrayType, IntType, PointerType, StructType
+from repro.ir.values import (
+    ConstantData,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from repro.vm.errors import (
+    ExecutionLimitExceeded,
+    TrapKind,
+    VMTrap,
+)
+from repro.vm.filesystem import FDTable, VirtualFS
+from repro.vm.heap import Heap
+from repro.vm.libc import NATIVE_BASE_COST, NATIVES, NativeFn
+from repro.vm.memory import AddressSpace, MemoryRegion
+
+COVERAGE_MAP_SIZE = 1 << 16
+
+# Per-opcode virtual-ns costs.  One MiniIR instruction stands for the
+# short native sequence clang -O0 emits for it (address computation,
+# load/op/store, occasional cache miss), hence several ns each; the
+# ratios follow real hardware (ALU < memory < call).
+_INST_COST = {
+    BinOp: 6, ICmp: 6, Cast: 4, Select: 7, Phi: 5,
+    Br: 4, CondBr: 7, Switch: 10, Ret: 6,
+    Load: 12, Store: 12, GetElementPtr: 6, Alloca: 10,
+    Call: 22, Unreachable: 0,
+}
+
+_U64_MASK = (1 << 64) - 1
+
+# Per-process "boot time" sequence: each VM (process) observes a
+# different time(), reproducing the natural cross-process
+# non-determinism real programs get from time-seeded PRNGs.
+_BOOT_SEQUENCE = itertools.count(1_700_000_000)
+
+
+class _MutableSite:
+    """Allocation-free current-location holder (frozen on trap)."""
+
+    __slots__ = ("function", "block")
+
+    def __init__(self) -> None:
+        self.function = "<start>"
+        self.block = "<start>"
+
+
+class VM:
+    """One simulated process: loaded module + memory + libc state."""
+
+    MAX_CALL_DEPTH = 192
+
+    def __init__(
+        self,
+        module: Module,
+        fs: VirtualFS | None = None,
+        heap_budget: int = 64 << 20,
+        max_open_files: int | None = None,
+        extra_natives: dict[str, NativeFn] | None = None,
+    ):
+        self.module = module
+        self.memory = AddressSpace()
+        self.heap = Heap(self.memory, heap_budget)
+        self.fs = fs if fs is not None else VirtualFS()
+        self.fd_table = FDTable(self.fs, max_open_files)
+        self.natives: dict[str, NativeFn] = dict(NATIVES)
+        if extra_natives:
+            self.natives.update(extra_natives)
+
+        self.cost = 0                       # virtual ns consumed
+        self.instructions_executed = 0
+        self.instruction_limit = 10_000_000
+        self.rand_state = 1
+        self.boot_time = next(_BOOT_SEQUENCE)
+        self.output: list[str] = []
+        self.site = _MutableSite()
+        self._call_depth = 0
+
+        # Coverage state (AFL-style shared map semantics).
+        self.coverage_map = bytearray(COVERAGE_MAP_SIZE)
+        self.prev_loc = 0
+        self.trace_edges = False
+        self.edge_trace: list[tuple[str, int]] = []
+
+        # Global layout: symbol -> region, and section -> ordered regions.
+        self.global_regions: dict[str, MemoryRegion] = {}
+        self.sections: dict[str, list[MemoryRegion]] = {}
+        self._loaded = False
+        self.load_cost = 0
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def load(self) -> None:
+        """Lay out global variables into section-grouped memory regions."""
+        if self._loaded:
+            raise RuntimeError("module already loaded into this VM")
+        by_section: dict[str, list[GlobalVariable]] = {}
+        for var in self.module.globals.values():
+            by_section.setdefault(var.section, []).append(var)
+        for section in sorted(by_section):
+            regions: list[MemoryRegion] = []
+            for var in by_section[section]:
+                size = var.value_type.size()
+                region = self.memory.map_region(
+                    self.memory.global_segment, size,
+                    writable=not var.is_constant, kind="global", tag=var.name,
+                )
+                region.data[:] = var.initial_bytes()
+                self.global_regions[var.name] = region
+                regions.append(region)
+                # Loading/initialising pages costs time — this is part of
+                # what fresh-process execution pays on every test case.
+                self.load_cost += 20 + size // 16
+            self.sections[section] = regions
+        self._loaded = True
+
+    def global_addr(self, name: str) -> int:
+        return self.global_regions[name].base
+
+    def section_size(self, section: str) -> int:
+        return sum(r.size for r in self.sections.get(section, []))
+
+    def section_bytes(self, section: str) -> bytes:
+        """Concatenated contents of a section (snapshot source)."""
+        return b"".join(bytes(r.data) for r in self.sections.get(section, []))
+
+    def restore_section(self, section: str, snapshot: bytes) -> int:
+        """Write *snapshot* back over a section; returns bytes copied."""
+        offset = 0
+        for region in self.sections.get(section, []):
+            region.data[:] = snapshot[offset:offset + region.size]
+            offset += region.size
+        return offset
+
+    # ------------------------------------------------------------------
+    # argv setup
+    # ------------------------------------------------------------------
+
+    def setup_argv(self, argv: list[str]) -> tuple[int, int]:
+        """Materialise C-style ``argc``/``argv`` in memory.
+
+        Returns ``(argc, argv_address)`` where ``argv_address`` points
+        at an array of ``char*``.
+        """
+        pointers: list[int] = []
+        for i, arg in enumerate(argv):
+            data = arg.encode("latin-1") + b"\x00"
+            region = self.memory.map_region(
+                self.memory.global_segment, len(data), True, "global", f"argv[{i}]"
+            )
+            region.data[:] = data
+            pointers.append(region.base)
+        table = self.memory.map_region(
+            self.memory.global_segment, 8 * (len(pointers) + 1), True, "global", "argv"
+        )
+        for i, ptr in enumerate(pointers):
+            table.data[i * 8:(i + 1) * 8] = ptr.to_bytes(8, "little")
+        return len(argv), table.base
+
+    def set_argv_input(self, argv_address: int, index: int, path: str) -> None:
+        """Repoint ``argv[index]`` at a new input path.
+
+        This is the harness-side "replace the appropriate argv with the
+        test case supplied by the fuzzer" step from the paper §4.2.1.
+        """
+        data = path.encode("latin-1") + b"\x00"
+        region = self.memory.map_region(
+            self.memory.global_segment, len(data), True, "global", f"argv[{index}]"
+        )
+        region.data[:] = data
+        self.memory.write_int(argv_address + index * 8, region.base, 8, self.site)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def charge(self, ns: int) -> None:
+        self.cost += ns
+
+    def record_output(self, text: str) -> None:
+        if len(self.output) < 4096:
+            self.output.append(text)
+
+    def reset_coverage(self) -> None:
+        self.coverage_map = bytearray(COVERAGE_MAP_SIZE)
+        self.prev_loc = 0
+
+    def cov_guard(self, cur_loc: int) -> None:
+        """AFL-style edge coverage update (called by instrumented code)."""
+        index = (cur_loc ^ self.prev_loc) & (COVERAGE_MAP_SIZE - 1)
+        value = self.coverage_map[index]
+        self.coverage_map[index] = (value + 1) & 0xFF if value != 0xFF else 0xFF
+        self.prev_loc = (cur_loc >> 1) & (COVERAGE_MAP_SIZE - 1)
+        if self.trace_edges:
+            self.edge_trace.append((self.site.function, index))
+
+    def run_function(self, function: Function, args: list[int]) -> int | None:
+        """Execute *function* with concrete integer arguments."""
+        if function.is_declaration:
+            return self._call_native(function.name, args)
+        if self._call_depth >= self.MAX_CALL_DEPTH:
+            raise VMTrap(TrapKind.STACK_OVERFLOW,
+                         f"call depth exceeded {self.MAX_CALL_DEPTH}", self.site)
+        self._call_depth += 1
+        frame_regions: list[MemoryRegion] = []
+        values: dict[Value, int] = {}
+        for arg_obj, arg_val in zip(function.args, args):
+            values[arg_obj] = arg_val
+        self.site.function = function.name
+        try:
+            return self._exec_blocks(function, values, frame_regions)
+        finally:
+            self._call_depth -= 1
+            for region in frame_regions:
+                if region.alive:
+                    self.memory.unmap(region)
+
+    def _call_native(self, name: str, args: list[int]) -> int | None:
+        native = self.natives.get(name)
+        if native is None:
+            raise VMTrap(
+                TrapKind.ABORT,
+                f"unresolved external function @{name} (link error)",
+                self.site,
+            )
+        self.cost += NATIVE_BASE_COST.get(name, 20)
+        return native(self, args, self.site)
+
+    def _exec_blocks(
+        self,
+        function: Function,
+        values: dict[Value, int],
+        frame_regions: list[MemoryRegion],
+    ) -> int | None:
+        block = function.entry_block
+        prev_block: BasicBlock | None = None
+        evaluate = self._evaluate
+        limit = self.instruction_limit
+
+        while True:
+            self.site.block = block.name
+            instructions = block.instructions
+            index = 0
+            # Phi nodes are evaluated simultaneously on block entry.
+            if instructions and isinstance(instructions[0], Phi):
+                phi_values: list[tuple[Phi, int]] = []
+                while index < len(instructions) and isinstance(instructions[index], Phi):
+                    phi = instructions[index]
+                    assert prev_block is not None
+                    phi_values.append((phi, evaluate(phi.value_for_block(prev_block), values)))
+                    index += 1
+                for phi, value in phi_values:
+                    values[phi] = value
+                self.instructions_executed += index
+                self.cost += 5 * index
+
+            next_block: BasicBlock | None = None
+            while index < len(instructions):
+                inst = instructions[index]
+                index += 1
+                self.instructions_executed += 1
+                if self.instructions_executed > limit:
+                    raise ExecutionLimitExceeded(limit)
+                self.cost += _INST_COST.get(type(inst), 2)
+                cls = type(inst)
+
+                if cls is BinOp:
+                    values[inst] = self._exec_binop(inst, values)
+                elif cls is ICmp:
+                    values[inst] = self._exec_icmp(inst, values)
+                elif cls is Load:
+                    ptr = evaluate(inst.ptr, values)
+                    values[inst] = self.memory.read_int(ptr, inst.type.size(), self.site)
+                elif cls is Store:
+                    ptr = evaluate(inst.ptr, values)
+                    value = evaluate(inst.value, values)
+                    self.memory.write_int(ptr, value, inst.value.type.size(), self.site)
+                elif cls is GetElementPtr:
+                    values[inst] = self._exec_gep(inst, values)
+                elif cls is Call:
+                    result = self._exec_call(inst, values)
+                    # Restore location clobbered by the callee.
+                    self.site.function = function.name
+                    self.site.block = block.name
+                    if not inst.type.is_void:
+                        values[inst] = result if result is not None else 0
+                elif cls is Alloca:
+                    region = self.memory.map_region(
+                        self.memory.stack_segment,
+                        inst.allocation_size(), True, "stack",
+                        f"{function.name}.{inst.name}",
+                    )
+                    frame_regions.append(region)
+                    values[inst] = region.base
+                elif cls is Cast:
+                    values[inst] = self._exec_cast(inst, values)
+                elif cls is Select:
+                    cond = evaluate(inst.cond, values)
+                    values[inst] = evaluate(inst.if_true if cond else inst.if_false, values)
+                elif cls is Br:
+                    next_block = inst.target
+                    break
+                elif cls is CondBr:
+                    cond = evaluate(inst.cond, values)
+                    next_block = inst.if_true if cond else inst.if_false
+                    break
+                elif cls is Switch:
+                    value = evaluate(inst.value, values)
+                    next_block = inst.default
+                    for case_value, case_block in inst.cases:
+                        if case_value == value:
+                            next_block = case_block
+                            break
+                    break
+                elif cls is Ret:
+                    if inst.value is None:
+                        return None
+                    return evaluate(inst.value, values)
+                elif cls is Unreachable:
+                    raise VMTrap(TrapKind.UNREACHABLE, "unreachable executed", self.site)
+                else:  # pragma: no cover - instruction set is closed
+                    raise VMTrap(TrapKind.ABORT, f"unknown instruction {inst}", self.site)
+
+            if next_block is None:
+                raise VMTrap(
+                    TrapKind.UNREACHABLE,
+                    f"block %{block.name} fell through without a terminator",
+                    self.site,
+                )
+            prev_block, block = block, next_block
+
+    # -- operand evaluation -------------------------------------------
+
+    def _evaluate(self, value: Value, values: dict[Value, int]) -> int:
+        cls = type(value)
+        if cls is ConstantInt:
+            return value.value
+        if cls is ConstantNull:
+            return 0
+        if cls is GlobalVariable:
+            return self.global_regions[value.name].base
+        if cls is UndefValue:
+            return 0
+        if cls is ConstantData:
+            raise VMTrap(TrapKind.ABORT, "constant data used as scalar", self.site)
+        try:
+            return values[value]
+        except KeyError:
+            raise VMTrap(
+                TrapKind.ABORT, f"use of undefined value {value.ref()}", self.site
+            ) from None
+
+    # -- instruction semantics ------------------------------------------
+
+    def _exec_binop(self, inst: BinOp, values: dict[Value, int]) -> int:
+        type_ = inst.type
+        assert isinstance(type_, IntType)
+        lhs = self._evaluate(inst.lhs, values)
+        rhs = self._evaluate(inst.rhs, values)
+        op = inst.op
+        if op == "add":
+            return type_.wrap(lhs + rhs)
+        if op == "sub":
+            return type_.wrap(lhs - rhs)
+        if op == "mul":
+            return type_.wrap(lhs * rhs)
+        if op == "and":
+            return lhs & rhs
+        if op == "or":
+            return lhs | rhs
+        if op == "xor":
+            return lhs ^ rhs
+        if op == "shl":
+            return type_.wrap(lhs << rhs) if rhs < type_.bits else 0
+        if op == "lshr":
+            return (lhs >> rhs) if rhs < type_.bits else 0
+        if op == "ashr":
+            signed = type_.to_signed(lhs)
+            return type_.wrap(signed >> min(rhs, type_.bits - 1))
+        if rhs == 0:
+            raise VMTrap(TrapKind.DIV_BY_ZERO, f"{op} by zero", self.site)
+        if op in ("sdiv", "srem"):
+            a, b = type_.to_signed(lhs), type_.to_signed(rhs)
+            if op == "sdiv":
+                quotient = abs(a) // abs(b)
+                return type_.wrap(quotient if (a < 0) == (b < 0) else -quotient)
+            remainder = abs(a) % abs(b)
+            return type_.wrap(remainder if a >= 0 else -remainder)
+        if op == "udiv":
+            return lhs // rhs
+        return lhs % rhs  # urem
+
+    def _exec_icmp(self, inst: ICmp, values: dict[Value, int]) -> int:
+        lhs = self._evaluate(inst.lhs, values)
+        rhs = self._evaluate(inst.rhs, values)
+        predicate = inst.predicate
+        if predicate in ("slt", "sle", "sgt", "sge"):
+            lhs_type = inst.lhs.type
+            if isinstance(lhs_type, IntType):
+                lhs = lhs_type.to_signed(lhs)
+                rhs = lhs_type.to_signed(rhs)
+        if predicate == "eq":
+            return 1 if lhs == rhs else 0
+        if predicate == "ne":
+            return 1 if lhs != rhs else 0
+        if predicate in ("slt", "ult"):
+            return 1 if lhs < rhs else 0
+        if predicate in ("sle", "ule"):
+            return 1 if lhs <= rhs else 0
+        if predicate in ("sgt", "ugt"):
+            return 1 if lhs > rhs else 0
+        return 1 if lhs >= rhs else 0
+
+    def _exec_gep(self, inst: GetElementPtr, values: dict[Value, int]) -> int:
+        address = self._evaluate(inst.base, values)
+        base_type = inst.base.type
+        assert isinstance(base_type, PointerType)
+        indices = inst.indices
+        first = self._evaluate(indices[0], values)
+        first_type = indices[0].type
+        if isinstance(first_type, IntType):
+            first = first_type.to_signed(first)
+        current = base_type.pointee
+        address += first * current.size()
+        for index_value in indices[1:]:
+            if isinstance(current, ArrayType):
+                idx = self._evaluate(index_value, values)
+                idx_type = index_value.type
+                if isinstance(idx_type, IntType):
+                    idx = idx_type.to_signed(idx)
+                address += idx * current.element.size()
+                current = current.element
+            elif isinstance(current, StructType):
+                assert isinstance(index_value, ConstantInt)
+                address += current.field_offset(index_value.value)
+                current = current.field_type(index_value.value)
+            else:  # pragma: no cover - rejected at construction
+                raise VMTrap(TrapKind.ABORT, "malformed GEP", self.site)
+        return address & _U64_MASK
+
+    def _exec_call(self, inst: Call, values: dict[Value, int]) -> int | None:
+        callee = inst.callee
+        assert isinstance(callee, Function)
+        args = [self._evaluate(a, values) for a in inst.args]
+        return self.run_function(callee, args)
+
+    def _exec_cast(self, inst: Cast, values: dict[Value, int]) -> int:
+        value = self._evaluate(inst.value, values)
+        op = inst.op
+        if op in ("bitcast", "inttoptr"):
+            return value
+        if op == "ptrtoint":
+            target = inst.type
+            assert isinstance(target, IntType)
+            return target.wrap(value)
+        if op in ("trunc", "zext"):
+            target = inst.type
+            assert isinstance(target, IntType)
+            return target.wrap(value)
+        # sext
+        source = inst.value.type
+        target = inst.type
+        assert isinstance(source, IntType) and isinstance(target, IntType)
+        return target.wrap(source.to_signed(value))
+
+    # ------------------------------------------------------------------
+    # inspection / address recycling
+    # ------------------------------------------------------------------
+
+    def stack_region_count(self) -> int:
+        return len(self.memory.live_regions("stack"))
+
+    def reset_stack_addresses(self) -> None:
+        """Rewind the stack segment's bump cursor.
+
+        Real processes reuse the same stack addresses on every
+        iteration of a loop (the stack pointer returns to its saved
+        position); rewinding the cursor once all frames are gone keeps
+        the simulated address assignment equally deterministic, which
+        the correctness experiments rely on for bytewise snapshot
+        comparison.
+        """
+        if self.memory.live_regions("stack"):
+            raise RuntimeError("cannot rewind stack with live frames")
+        self.memory.stack_segment.reset()
+        self.memory.forget_dead_regions()
+
+    def reset_heap_addresses(self, mark: int | None = None) -> None:
+        """Rewind the heap segment's bump cursor to *mark* (or the base).
+
+        Models a real allocator handing out the same addresses again
+        after everything was freed.  Called by the ClosureX harness
+        after its leak sweep; *mark* preserves initialisation-phase
+        chunks.  Never valid for the naive persistent mode, whose
+        leaked chunks keep the heap occupied — that address drift is
+        part of the pollution ClosureX eliminates.
+        """
+        target = mark if mark is not None else self.memory.heap_segment.base
+        for region in self.heap.live.values():
+            if region.base >= target:
+                raise RuntimeError(
+                    f"cannot rewind heap past live chunk at 0x{region.base:x}"
+                )
+        self.memory.heap_segment.cursor = target
+        self.memory.forget_dead_regions()

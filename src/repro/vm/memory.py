@@ -1,0 +1,242 @@
+"""Byte-addressable memory model for the MiniVM.
+
+The address space is divided into fixed segments (globals, heap, stack,
+FILE handles).  Every allocation is a :class:`MemoryRegion` with its own
+bounds; loads and stores are checked against region bounds and
+permissions, which is what turns the targets' planted bugs into traps
+(null dereference, unaddressable access, out-of-bounds read/write,
+use-after-free).
+
+Address lookup uses bisection over the sorted region bases.  Freed
+regions are remembered in a bounded FIFO so the memcheck layer can
+distinguish *use-after-free* from plain *unaddressable* accesses —
+the same distinction Valgrind draws in the paper's §6.1.4 validation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+
+from repro.vm.errors import CrashSite, TrapKind, VMTrap
+
+
+class Segment:
+    """A contiguous slice of the address space with bump allocation."""
+
+    def __init__(self, name: str, base: int, size: int):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.cursor = base
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+    def reserve(self, size: int, align: int = 16) -> int:
+        """Reserve *size* bytes; returns the base address."""
+        start = (self.cursor + align - 1) // align * align
+        if start + size > self.limit:
+            raise MemoryError(f"segment {self.name} exhausted")
+        self.cursor = start + size
+        return start
+
+    def reset(self) -> None:
+        self.cursor = self.base
+
+
+GLOBAL_BASE = 0x0000_1000_0000
+HEAP_BASE = 0x0000_2000_0000
+STACK_BASE = 0x0000_7000_0000
+HANDLE_BASE = 0x0000_F000_0000
+
+GLOBAL_SIZE = 0x1000_0000
+HEAP_SIZE = 0x4000_0000
+STACK_SIZE = 0x0800_0000
+# Gap of unmapped space between consecutive regions, so off-by-N
+# pointer arithmetic lands in unaddressable memory instead of a
+# neighbouring allocation (a software red zone).
+RED_ZONE = 16
+
+
+class MemoryRegion:
+    """One live or dead allocation."""
+
+    __slots__ = ("base", "size", "data", "writable", "kind", "tag", "alive")
+
+    def __init__(self, base: int, size: int, writable: bool, kind: str, tag: str = ""):
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+        self.writable = writable
+        self.kind = kind          # "global" | "heap" | "stack"
+        self.tag = tag            # symbol name / allocation site
+        self.alive = True
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+    def __repr__(self) -> str:
+        state = "live" if self.alive else "dead"
+        return f"<Region {self.kind} {self.tag!r} @0x{self.base:x}+{self.size} {state}>"
+
+
+class AddressSpace:
+    """All mapped memory of one simulated process."""
+
+    DEAD_REGION_MEMORY = 256  # how many freed regions we remember
+
+    def __init__(self) -> None:
+        self.global_segment = Segment("global", GLOBAL_BASE, GLOBAL_SIZE)
+        self.heap_segment = Segment("heap", HEAP_BASE, HEAP_SIZE)
+        self.stack_segment = Segment("stack", STACK_BASE, STACK_SIZE)
+        self._bases: list[int] = []
+        self._regions: dict[int, MemoryRegion] = {}
+        self._dead: OrderedDict[int, MemoryRegion] = OrderedDict()
+        self.bytes_written = 0  # drives copy-on-write cost accounting
+
+    # -- mapping ------------------------------------------------------
+
+    def map_region(self, segment: Segment, size: int, writable: bool,
+                   kind: str, tag: str = "") -> MemoryRegion:
+        base = segment.reserve(max(size, 1) + RED_ZONE)
+        region = MemoryRegion(base, size, writable, kind, tag)
+        index = bisect.bisect_left(self._bases, base)
+        self._bases.insert(index, base)
+        self._regions[base] = region
+        return region
+
+    def unmap(self, region: MemoryRegion) -> None:
+        if not region.alive:
+            raise ValueError("double unmap")
+        region.alive = False
+        index = bisect.bisect_left(self._bases, region.base)
+        del self._bases[index]
+        del self._regions[region.base]
+        self._dead[region.base] = region
+        while len(self._dead) > self.DEAD_REGION_MEMORY:
+            self._dead.popitem(last=False)
+
+    def forget_dead_regions(self) -> None:
+        """Drop the freed-region memory (called when cursors rewind,
+        since recycled addresses would otherwise shadow-match old
+        regions)."""
+        self._dead.clear()
+
+    # -- lookup -------------------------------------------------------
+
+    def find_region(self, address: int) -> MemoryRegion | None:
+        """Live region containing *address*, or ``None``."""
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        region = self._regions[self._bases[index]]
+        return region if region.contains(address) else None
+
+    def find_dead_region(self, address: int) -> MemoryRegion | None:
+        """Freed region that used to contain *address*, or ``None``."""
+        for region in reversed(self._dead.values()):
+            if region.contains(address):
+                return region
+        return None
+
+    def live_regions(self, kind: str | None = None) -> list[MemoryRegion]:
+        regions = list(self._regions.values())
+        if kind is not None:
+            regions = [r for r in regions if r.kind == kind]
+        return regions
+
+    # -- checked access -----------------------------------------------
+
+    def _fault(self, address: int, size: int, write: bool, site: CrashSite) -> VMTrap:
+        mode = "write" if write else "read"
+        if address == 0 or 0 < address < 4096:
+            return VMTrap(TrapKind.NULL_DEREF,
+                          f"{mode} of {size} bytes at null page address 0x{address:x}", site)
+        dead = self.find_dead_region(address)
+        if dead is not None:
+            return VMTrap(TrapKind.USE_AFTER_FREE,
+                          f"{mode} at 0x{address:x} inside freed {dead.kind} "
+                          f"region {dead.tag!r}", site)
+        live = self.find_region(address)
+        if live is None:
+            # An access just past a region's end (inside its red zone)
+            # is an overrun of that region, Valgrind-style ("N bytes
+            # after a block of ..."); anything further out is a wild
+            # unaddressable access.
+            index = bisect.bisect_right(self._bases, address) - 1
+            if index >= 0:
+                candidate = self._regions[self._bases[index]]
+                if address < candidate.limit + RED_ZONE:
+                    live = candidate
+        if live is not None:
+            if live.kind == "global":
+                kind = TrapKind.ARRAY_OOB
+            elif write:
+                kind = TrapKind.INVALID_WRITE
+            else:
+                kind = TrapKind.INVALID_READ
+            return VMTrap(kind,
+                          f"{mode} of {size} bytes at 0x{address:x} overruns "
+                          f"{live.kind} region {live.tag!r} "
+                          f"(0x{live.base:x}+{live.size})", site)
+        return VMTrap(TrapKind.UNADDRESSABLE,
+                      f"{mode} of {size} bytes at unmapped address 0x{address:x}", site)
+
+    def check(self, address: int, size: int, write: bool, site: CrashSite) -> MemoryRegion:
+        region = self.find_region(address)
+        if region is None or address + size > region.limit:
+            raise self._fault(address, size, write, site)
+        if write and not region.writable:
+            raise VMTrap(
+                TrapKind.INVALID_WRITE,
+                f"write to read-only {region.kind} region {region.tag!r} at 0x{address:x}",
+                site,
+            )
+        return region
+
+    def read(self, address: int, size: int, site: CrashSite) -> bytes:
+        region = self.check(address, size, False, site)
+        offset = address - region.base
+        return bytes(region.data[offset:offset + size])
+
+    def write(self, address: int, data: bytes, site: CrashSite) -> None:
+        region = self.check(address, len(data), True, site)
+        offset = address - region.base
+        region.data[offset:offset + len(data)] = data
+        self.bytes_written += len(data)
+
+    def read_int(self, address: int, size: int, site: CrashSite) -> int:
+        return int.from_bytes(self.read(address, size, site), "little")
+
+    def write_int(self, address: int, value: int, size: int, site: CrashSite) -> None:
+        self.write(address, (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"), site)
+
+    def read_cstring(self, address: int, site: CrashSite, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated string (without the terminator)."""
+        out = bytearray()
+        current = address
+        while len(out) < limit:
+            byte = self.read(current, 1, site)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            current += 1
+        raise VMTrap(TrapKind.INVALID_READ, f"unterminated string at 0x{address:x}", site)
+
+    # -- accounting ---------------------------------------------------
+
+    def footprint_bytes(self) -> int:
+        """Total live mapped bytes (drives fork/CoW cost modelling)."""
+        return sum(r.size for r in self._regions.values())
+
+    def region_count(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,246 @@
+"""Program-state snapshots and comparison for the MiniVM.
+
+Two consumers:
+
+1. The correctness experiments (paper §6.1.4): compare the observable
+   program state after executing a test case under ClosureX against a
+   fresh-process ground truth, with non-deterministic bytes masked out.
+2. Diagnostics in tests — asserting that restoration really returns a
+   process to its post-initialisation state.
+
+A snapshot captures the *target's* state only: writable global
+sections, the live heap-chunk set, open FILE handles, and the libc PRNG
+state.  Harness-owned bookkeeping is deliberately excluded, matching
+the paper's "excluding ClosureX's own memory" methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm.interpreter import VM
+
+#: Sections that hold immutable data and are skipped by snapshots.
+READONLY_SECTIONS = frozenset({".rodata"})
+
+
+@dataclass(frozen=True)
+class HeapChunkState:
+    """Structural identity of one live heap chunk."""
+
+    address: int
+    size: int
+    contents: bytes
+
+
+#: Per-section layout: (variable tag, offset within section, size).
+SectionLayout = tuple[tuple[str, int, int], ...]
+
+
+@dataclass
+class ProgramSnapshot:
+    """Observable target state at one point in time."""
+
+    sections: dict[str, bytes]
+    heap_chunks: tuple[HeapChunkState, ...]
+    open_files: tuple[tuple[str, int], ...]   # (path, position) per handle
+    rand_state: int
+    live_heap_bytes: int = 0
+    layouts: dict[str, SectionLayout] = field(default_factory=dict)
+
+    @property
+    def heap_chunk_count(self) -> int:
+        return len(self.heap_chunks)
+
+    def variable_extent(self, section: str, offset: int) -> tuple[int, int]:
+        """(start, size) of the variable containing *offset*, or a
+        1-byte extent if the layout is unknown."""
+        for _tag, start, size in self.layouts.get(section, ()):
+            if start <= offset < start + size:
+                return start, size
+        return offset, 1
+
+
+@dataclass
+class SnapshotDelta:
+    """Difference between two snapshots (empty == equivalent)."""
+
+    section_diffs: dict[str, list[int]] = field(default_factory=dict)
+    heap_diff: str = ""
+    file_diff: str = ""
+    rand_diff: str = ""
+
+    @property
+    def equivalent(self) -> bool:
+        return (
+            not self.section_diffs
+            and not self.heap_diff
+            and not self.file_diff
+            and not self.rand_diff
+        )
+
+    def describe(self) -> str:
+        if self.equivalent:
+            return "equivalent"
+        parts = []
+        for section, offsets in self.section_diffs.items():
+            shown = ", ".join(str(o) for o in offsets[:8])
+            more = "..." if len(offsets) > 8 else ""
+            parts.append(f"section {section}: {len(offsets)} differing bytes "
+                         f"at offsets [{shown}{more}]")
+        for label, text in (("heap", self.heap_diff), ("files", self.file_diff),
+                            ("prng", self.rand_diff)):
+            if text:
+                parts.append(f"{label}: {text}")
+        return "; ".join(parts)
+
+
+def take_snapshot(vm: VM) -> ProgramSnapshot:
+    """Capture the target-visible state of *vm*."""
+    sections = {
+        name: vm.section_bytes(name)
+        for name in sorted(vm.sections)
+        if name not in READONLY_SECTIONS
+    }
+    chunks = tuple(
+        HeapChunkState(region.base, region.size, bytes(region.data))
+        for region in sorted(vm.heap.live.values(), key=lambda r: r.base)
+    )
+    files = tuple(
+        sorted(
+            (file.path, file.position)
+            for file in vm.fd_table.open_files.values()
+        )
+    )
+    layouts: dict[str, SectionLayout] = {}
+    for name in sections:
+        entries: list[tuple[str, int, int]] = []
+        offset = 0
+        for region in vm.sections.get(name, []):
+            entries.append((region.tag, offset, region.size))
+            offset += region.size
+        layouts[name] = tuple(entries)
+    return ProgramSnapshot(
+        sections=sections,
+        heap_chunks=chunks,
+        open_files=files,
+        rand_state=vm.rand_state,
+        live_heap_bytes=vm.heap.live_bytes,
+        layouts=layouts,
+    )
+
+
+def diff_snapshots(
+    ground_truth: ProgramSnapshot,
+    observed: ProgramSnapshot,
+    mask: "NondetMask | None" = None,
+) -> SnapshotDelta:
+    """Compare two snapshots, ignoring bytes covered by *mask*."""
+    delta = SnapshotDelta()
+    for name, expected in ground_truth.sections.items():
+        actual = observed.sections.get(name, b"")
+        if expected == actual and len(expected) == len(actual):
+            continue
+        masked = mask.section_offsets(name) if mask is not None else frozenset()
+        offsets = [
+            i
+            for i in range(max(len(expected), len(actual)))
+            if i not in masked
+            and (i >= len(expected) or i >= len(actual) or expected[i] != actual[i])
+        ]
+        if offsets:
+            delta.section_diffs[name] = offsets
+
+    expected_chunks = _chunk_multiset(ground_truth.heap_chunks)
+    observed_chunks = _chunk_multiset(observed.heap_chunks)
+    if expected_chunks != observed_chunks:
+        delta.heap_diff = (
+            f"live chunk sets differ: ground truth has "
+            f"{ground_truth.heap_chunk_count} chunks "
+            f"({ground_truth.live_heap_bytes} B), observed has "
+            f"{observed.heap_chunk_count} chunks ({observed.live_heap_bytes} B)"
+        )
+
+    if ground_truth.open_files != observed.open_files:
+        delta.file_diff = (
+            f"open handles differ: {ground_truth.open_files!r} vs "
+            f"{observed.open_files!r}"
+        )
+
+    if mask is None or not mask.ignore_rand:
+        if ground_truth.rand_state != observed.rand_state:
+            delta.rand_diff = (
+                f"PRNG state {ground_truth.rand_state} vs {observed.rand_state}"
+            )
+    return delta
+
+
+def _chunk_multiset(chunks: tuple[HeapChunkState, ...]) -> dict[tuple[int, int, bytes], int]:
+    """Multiset keyed by (address, size, contents)."""
+    out: dict[tuple[int, int, bytes], int] = {}
+    for chunk in chunks:
+        key = (chunk.address, chunk.size, chunk.contents)
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+class NondetMask:
+    """Bytes known to vary between identical fresh-process executions.
+
+    Built by :func:`build_nondet_mask`: run the same input in N fresh
+    processes and mark every byte that differs across runs.  This is
+    the paper's §6.1.4 methodology for tolerating PRNG output and other
+    natural non-determinism without weakening the equivalence claim.
+    """
+
+    def __init__(self) -> None:
+        self._sections: dict[str, set[int]] = {}
+        self.ignore_rand = False
+
+    def add_section_offset(self, section: str, offset: int) -> None:
+        self._sections.setdefault(section, set()).add(offset)
+
+    def section_offsets(self, section: str) -> frozenset[int]:
+        return frozenset(self._sections.get(section, ()))
+
+    @property
+    def masked_byte_count(self) -> int:
+        return sum(len(s) for s in self._sections.values())
+
+    def merge(self, other: "NondetMask") -> None:
+        for section, offsets in other._sections.items():
+            self._sections.setdefault(section, set()).update(offsets)
+        self.ignore_rand = self.ignore_rand or other.ignore_rand
+
+
+def build_nondet_mask(
+    snapshots: list[ProgramSnapshot], granularity: str = "byte"
+) -> NondetMask:
+    """Derive a mask from repeated fresh-process snapshots of one input.
+
+    ``granularity="byte"`` masks exactly the differing bytes (the
+    paper's formulation); ``"variable"`` widens each differing byte to
+    the whole global variable containing it, which converges with far
+    fewer fresh runs when the non-determinism picks *which* element of
+    an object to touch (e.g. a randomised cache slot).
+    """
+    if granularity not in ("byte", "variable"):
+        raise ValueError(f"unknown mask granularity {granularity!r}")
+    mask = NondetMask()
+    if len(snapshots) < 2:
+        return mask
+    reference = snapshots[0]
+    for other in snapshots[1:]:
+        for name, expected in reference.sections.items():
+            actual = other.sections.get(name, b"")
+            for i in range(min(len(expected), len(actual))):
+                if expected[i] != actual[i]:
+                    if granularity == "variable":
+                        start, size = reference.variable_extent(name, i)
+                        for j in range(start, start + size):
+                            mask.add_section_offset(name, j)
+                    else:
+                        mask.add_section_offset(name, i)
+        if other.rand_state != reference.rand_state:
+            mask.ignore_rand = True
+    return mask

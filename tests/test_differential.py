@@ -1,0 +1,71 @@
+"""Differential testing: for every benchmark target, a ClosureX
+persistent process must be observationally identical to a fresh process
+of the baseline build on arbitrary inputs — same exit disposition, same
+return code, same coverage map.  This is the instrumented/uninstrumented
+equivalence the whole evaluation silently depends on."""
+
+import random
+
+import pytest
+
+from repro.execution import ClosureXExecutor, FreshProcessExecutor
+from repro.runtime.harness import IterationStatus
+from repro.sim_os import Kernel
+from repro.targets import get_target, target_names
+
+
+def random_inputs(spec, count=25, seed=99):
+    rng = random.Random(seed)
+    out = list(spec.seeds)
+    for _ in range(count):
+        base = bytearray(rng.choice(spec.seeds))
+        for _ in range(rng.randrange(1, 6)):
+            if base:
+                base[rng.randrange(len(base))] = rng.randrange(256)
+        out.append(bytes(base))
+    for _ in range(5):
+        out.append(bytes(rng.randrange(256) for _ in range(rng.randrange(0, 64))))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(target_names()))
+def test_closurex_matches_fresh_baseline(name):
+    spec = get_target(name)
+    fresh = FreshProcessExecutor(spec.build_baseline(), spec.image_bytes, Kernel())
+    closurex = ClosureXExecutor(spec.build_closurex(), spec.image_bytes, Kernel())
+    closurex.boot()
+
+    for data in random_inputs(spec):
+        fresh_result = fresh.run(data)
+        closurex_result = closurex.run(data)
+
+        if name == "freetype":
+            # PRNG-seeded control flow: dispositions may legitimately
+            # differ across processes; skip strict comparison.
+            continue
+
+        # Exit dispositions map onto each other: fresh EXIT == hooked EXIT.
+        fresh_kind = fresh_result.status
+        cx_kind = closurex_result.status
+        normalised = {
+            IterationStatus.OK: "done",
+            IterationStatus.EXIT: "done",
+            IterationStatus.PROCESS_EXIT: "done",
+            IterationStatus.CRASH: "crash",
+            IterationStatus.HANG: "hang",
+        }
+        assert normalised[fresh_kind] == normalised[cx_kind], (
+            f"{name}: {data[:20]!r} fresh={fresh_kind} closurex={cx_kind}"
+        )
+        if normalised[fresh_kind] == "done":
+            assert fresh_result.return_code == closurex_result.return_code, (
+                f"{name}: return codes diverge on {data[:20]!r}"
+            )
+            # identical edge ids + identical execution => identical map
+            assert bytes(fresh_result.coverage) == bytes(closurex_result.coverage), (
+                f"{name}: coverage maps diverge on {data[:20]!r}"
+            )
+        else:
+            assert fresh_result.trap.kind == closurex_result.trap.kind, (
+                f"{name}: trap kinds diverge on {data[:20]!r}"
+            )

@@ -1,0 +1,153 @@
+"""Tests for the implemented §7.2 extensions and AFL-style trimming."""
+
+import random
+
+import pytest
+
+from repro.execution import ClosureXExecutor
+from repro.fuzzing import Campaign, CampaignConfig
+from repro.ir import Call
+from repro.minic import compile_c
+from repro.passes import FilePass, HeapPass, PassManager, closurex_passes
+from repro.runtime import ClosureXHarness, HarnessConfig
+from repro.sim_os import Kernel
+
+
+class TestCustomAllocatorHooking:
+    SOURCE = """
+    char *pool_alloc(long n);
+    void pool_release(char *p);
+
+    char *pool_alloc(long n) { return (char*)malloc(n); }
+    void pool_release(char *p) { free(p); }
+
+    int main(int argc, char **argv) {
+        char *p = pool_alloc(64);
+        p[0] = 1;
+        return 0;                   /* leaks p via the custom allocator */
+    }
+    """
+
+    def test_inner_calls_still_tracked(self):
+        """Even without naming the custom allocator, its *internal*
+        malloc/free are target code and get rerouted, so the leak is
+        swept."""
+        module = compile_c(self.SOURCE, "pool")
+        PassManager(closurex_passes(1)).run(module)
+        harness = ClosureXHarness(module)
+        harness.boot()
+        result = harness.run_test_case(b"x")
+        assert result.restore.leaked_chunks == 1
+        assert harness.vm.heap.live_chunk_count() == 0
+
+
+class TestFilePassExtraHandles:
+    SOURCE = """
+    char *sock_open(char *path, char *mode);
+    int sock_close(char *s);
+
+    int main(int argc, char **argv) {
+        char *s = sock_open(argv[1], "r");
+        if (!s) { exit(1); }
+        return 0;                   /* leaks the 'socket' */
+    }
+
+    char *sock_open(char *path, char *mode) { return fopen(path, mode); }
+    int sock_close(char *s) { return fclose(s); }
+    """
+
+    def test_socket_style_apis_reroute(self):
+        module = compile_c(self.SOURCE, "sock")
+        result = FilePass(extra_opens=["sock_open"],
+                          extra_closes=["sock_close"]).run(module)
+        # sock_open/sock_close are *defined* here so they are left
+        # alone, but their internal fopen/fclose are rerouted:
+        assert result.details["fopen_calls_rerouted"] == 1
+        assert result.details["fclose_calls_rerouted"] == 1
+
+    def test_declared_extra_open_is_rerouted(self):
+        source = """
+        char *dial(char *path, char *mode);
+        int main(int argc, char **argv) {
+            char *s = dial(argv[1], "r");
+            return s ? 0 : 1;
+        }
+        """
+        module = compile_c(source, "dial")
+        result = FilePass(extra_opens=["dial"]).run(module)
+        assert result.details["dial_calls_rerouted"] == 1
+        calls = [
+            inst.callee.name
+            for func in module.defined_functions()
+            for inst in func.instructions()
+            if isinstance(inst, Call)
+        ]
+        assert "closurex_fopen_hook" in calls
+
+
+class TestTrimStage:
+    # Header-only parser: everything past the 8-byte header is ignored,
+    # so trailing padding is coverage-irrelevant and trimmable.
+    SOURCE = """
+    int seen;
+    int main(int argc, char **argv) {
+        char buf[256];
+        char *f = fopen(argv[1], "r");
+        if (!f) { exit(1); }
+        long n = fread(buf, 1, 256, f);
+        fclose(f);
+        if (n < 8) { exit(2); }
+        if (buf[0] != 'T' || buf[1] != 'R') { exit(3); }
+        seen = buf[4] + buf[5];
+        return seen & 0x7f;
+    }
+    """
+
+    def _campaign(self, enable_trim):
+        module = compile_c(self.SOURCE, "trim-target")
+        PassManager(closurex_passes(4)).run(module)
+        executor = ClosureXExecutor(module, 100_000, Kernel())
+        padded_seed = b"TRxx\x05\x06yy" + b"z" * 120
+        return Campaign(
+            executor, [padded_seed],
+            CampaignConfig(budget_ns=3_000_000, seed=5,
+                           enable_trim=enable_trim),
+        )
+
+    def test_trim_shrinks_padded_entries(self):
+        campaign = self._campaign(enable_trim=True)
+        campaign.run()
+        entry = campaign.corpus.entries[0]
+        assert entry.trim_done
+        assert len(entry.data) < 40  # the 120-byte tail is gone
+
+    def test_trim_can_be_disabled(self):
+        campaign = self._campaign(enable_trim=False)
+        campaign.run()
+        entry = campaign.corpus.entries[0]
+        assert len(entry.data) == 128
+
+    def test_trim_preserves_coverage_signature(self):
+        campaign = self._campaign(enable_trim=True)
+        campaign.run()
+        entry = campaign.corpus.entries[0]
+        module = compile_c(self.SOURCE, "trim-target")
+        PassManager(closurex_passes(4)).run(module)
+        executor = ClosureXExecutor(module, 100_000, Kernel())
+        executor.boot()
+        result = executor.run(entry.data)
+        from repro.fuzzing import coverage_signature
+
+        assert coverage_signature(result.coverage) == entry.coverage_signature
+
+
+class TestDeferredInitConfig:
+    def test_unknown_init_function_raises(self):
+        from repro.targets import get_target
+
+        module = get_target("giftext").build_closurex()
+        harness = ClosureXHarness(
+            module, config=HarnessConfig(deferred_init_functions=("nope",))
+        )
+        with pytest.raises(KeyError):
+            harness.boot()

@@ -1,0 +1,245 @@
+"""Tests for the fuzzer: coverage maps, mutators, corpus, triage,
+and campaign behaviour."""
+
+import random
+
+import pytest
+
+from repro.fuzzing import (
+    Campaign,
+    CampaignConfig,
+    Corpus,
+    CrashTriage,
+    HavocMutator,
+    VirginMap,
+    classify,
+    coverage_signature,
+    deterministic_mutations,
+    edge_count,
+)
+from repro.fuzzing.mutators import MAX_INPUT_SIZE
+from repro.vm.errors import CrashSite, TrapKind, VMTrap
+from repro.vm.interpreter import COVERAGE_MAP_SIZE
+
+
+def make_map(cells: dict[int, int]) -> bytearray:
+    out = bytearray(COVERAGE_MAP_SIZE)
+    for index, value in cells.items():
+        out[index] = value
+    return out
+
+
+class TestClassification:
+    def test_bucket_boundaries(self):
+        raw = bytes([0, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 127, 128, 255])
+        classified = classify(raw + bytes(COVERAGE_MAP_SIZE - len(raw)))
+        assert list(classified[:14]) == [
+            0, 1, 2, 4, 8, 8, 16, 16, 32, 32, 64, 64, 128, 128
+        ]
+
+    def test_edge_count(self):
+        assert edge_count(make_map({5: 1, 99: 200})) == 2
+        assert edge_count(bytearray(COVERAGE_MAP_SIZE)) == 0
+
+    def test_signature_is_classified(self):
+        signature = coverage_signature(make_map({3: 5}))
+        assert signature[3] == 8
+
+
+class TestVirginMap:
+    def test_first_observation_is_new_edges(self):
+        virgin = VirginMap()
+        assert virgin.observe(make_map({10: 1})) == VirginMap.NEW_EDGES
+
+    def test_same_map_is_not_new(self):
+        virgin = VirginMap()
+        virgin.observe(make_map({10: 1}))
+        assert virgin.observe(make_map({10: 1})) == VirginMap.NO_NEW
+
+    def test_new_hitcount_bucket(self):
+        virgin = VirginMap()
+        virgin.observe(make_map({10: 1}))
+        assert virgin.observe(make_map({10: 200})) == VirginMap.NEW_COUNTS
+
+    def test_would_be_new_does_not_fold(self):
+        virgin = VirginMap()
+        assert virgin.would_be_new(make_map({7: 1})) == VirginMap.NEW_EDGES
+        assert virgin.would_be_new(make_map({7: 1})) == VirginMap.NEW_EDGES
+
+    def test_edges_found(self):
+        virgin = VirginMap()
+        virgin.observe(make_map({1: 1, 2: 1, 3: 1}))
+        assert virgin.edges_found() == 3
+
+
+class TestDeterministicMutations:
+    def test_bitflips_present(self):
+        mutations = set(deterministic_mutations(b"\x00"))
+        assert b"\x80" in mutations  # first bitflip
+        assert b"\xff" in mutations  # byteflip
+
+    def test_empty_input_yields_nothing(self):
+        assert list(deterministic_mutations(b"")) == []
+
+    def test_all_outputs_same_length(self):
+        for mutated in deterministic_mutations(b"abcd"):
+            assert len(mutated) == 4
+
+    def test_interesting_values_injected(self):
+        mutations = set(deterministic_mutations(b"\x42\x42"))
+        assert b"\x7f\x42" in mutations  # INTERESTING_8 127
+
+
+class TestHavoc:
+    def test_output_bounded(self):
+        havoc = HavocMutator(random.Random(1), max_size=64)
+        for _ in range(200):
+            assert 1 <= len(havoc.mutate(b"seed input")) <= 64
+
+    def test_default_bound(self):
+        havoc = HavocMutator(random.Random(2))
+        data = bytes(range(256)) * 4
+        for _ in range(50):
+            assert len(havoc.mutate(data)) <= MAX_INPUT_SIZE
+
+    def test_deterministic_given_seed(self):
+        a = HavocMutator(random.Random(7)).mutate(b"hello world")
+        b = HavocMutator(random.Random(7)).mutate(b"hello world")
+        assert a == b
+
+    def test_splice_mixes_parents(self):
+        havoc = HavocMutator(random.Random(3))
+        out = havoc.splice(b"A" * 32, b"B" * 32)
+        assert out  # non-empty; content is randomised
+
+    def test_empty_input_survives(self):
+        havoc = HavocMutator(random.Random(4))
+        assert havoc.mutate(b"")
+
+
+class TestCorpus:
+    def _entry(self, corpus, data=b"x", cells=None, exec_ns=1000):
+        signature = coverage_signature(make_map(cells or {1: 1}))
+        return corpus.add(data, signature, exec_ns, now_ns=0)
+
+    def test_add_assigns_ids(self):
+        corpus = Corpus()
+        first = self._entry(corpus)
+        second = self._entry(corpus)
+        assert (first.entry_id, second.entry_id) == (0, 1)
+
+    def test_favored_prefers_fast_small(self):
+        corpus = Corpus()
+        slow = self._entry(corpus, b"s" * 100, {1: 1}, exec_ns=100_000)
+        fast = self._entry(corpus, b"f", {1: 1}, exec_ns=100)
+        assert fast.favored
+        assert not slow.favored
+
+    def test_unique_cell_keeps_entry_favored(self):
+        corpus = Corpus()
+        a = self._entry(corpus, b"a", {1: 1}, exec_ns=100)
+        b = self._entry(corpus, b"b", {2: 1}, exec_ns=100_000)
+        assert a.favored and b.favored  # b owns cell 2
+
+    def test_select_next_cycles(self):
+        corpus = Corpus()
+        for i in range(5):
+            self._entry(corpus, bytes([i]), {i: 1})
+        rng = random.Random(0)
+        selected = {corpus.select_next(rng).entry_id for _ in range(50)}
+        assert len(selected) == 5
+
+    def test_energy_scales(self):
+        corpus = Corpus()
+        fast = self._entry(corpus, b"f", {1: 1}, exec_ns=10)
+        slow = self._entry(corpus, b"s" * 64, {2: 1}, exec_ns=1_000_000)
+        assert corpus.energy(fast) > corpus.energy(slow)
+        assert corpus.energy(slow) >= 8
+
+    def test_depth_bonus(self):
+        corpus = Corpus()
+        parent = self._entry(corpus, b"p", {1: 1})
+        child = corpus.add(b"c", coverage_signature(make_map({2: 1})), 1000, 0,
+                           parent=parent)
+        assert child.depth == 1
+        assert child.parent_id == parent.entry_id
+
+    def test_empty_corpus_select_raises(self):
+        with pytest.raises(IndexError):
+            Corpus().select_next(random.Random(0))
+
+
+class TestTriage:
+    def _trap(self, kind=TrapKind.NULL_DEREF, function="f", block="b"):
+        return VMTrap(kind, "boom", CrashSite(function, block))
+
+    def test_dedup_by_identity(self):
+        triage = CrashTriage()
+        assert triage.record(self._trap(), b"a", 100) is not None
+        assert triage.record(self._trap(), b"b", 200) is None
+        assert triage.unique_count == 1
+        assert triage.total_crashes == 2
+        report = triage.reports()[0]
+        assert report.occurrences == 2
+        assert report.found_at_ns == 100
+
+    def test_different_sites_are_different_bugs(self):
+        triage = CrashTriage()
+        triage.record(self._trap(function="f"), b"a", 1)
+        triage.record(self._trap(function="g"), b"b", 2)
+        assert triage.unique_count == 2
+
+    def test_first_hit_lookup(self):
+        triage = CrashTriage()
+        trap = self._trap()
+        triage.record(trap, b"a", 123)
+        assert triage.first_hit_ns(trap.identity()) == 123
+        assert triage.first_hit_ns((TrapKind.ABORT, "x", "y")) is None
+
+
+class TestCampaign:
+    def _campaign(self, budget_ns=4_000_000, seed=1):
+        from repro.execution import ClosureXExecutor
+        from repro.sim_os import Kernel
+        from repro.targets import get_target
+
+        spec = get_target("libbpf")
+        executor = ClosureXExecutor(spec.build_closurex(), spec.image_bytes,
+                                    Kernel())
+        return Campaign(
+            executor, spec.seeds,
+            CampaignConfig(budget_ns=budget_ns, seed=seed),
+        )
+
+    def test_respects_budget(self):
+        campaign = self._campaign(budget_ns=3_000_000)
+        result = campaign.run()
+        assert result.elapsed_ns >= 3_000_000
+        assert result.elapsed_ns < 3_000_000 * 3  # some overshoot allowed
+
+    def test_grows_corpus_and_coverage(self):
+        result = self._campaign().run()
+        assert result.corpus_size >= 3          # at least the seeds
+        assert result.edges_found > 10
+        assert result.execs > 50
+
+    def test_timeline_monotonic(self):
+        result = self._campaign().run()
+        execs = [p.execs for p in result.timeline]
+        assert execs == sorted(execs)
+
+    def test_deterministic_given_seed(self):
+        first = self._campaign(seed=5).run()
+        second = self._campaign(seed=5).run()
+        assert first.execs == second.execs
+        assert first.edges_found == second.edges_found
+
+    def test_different_seeds_differ(self):
+        first = self._campaign(seed=1).run()
+        second = self._campaign(seed=2).run()
+        assert (first.execs, first.corpus_size) != (second.execs, second.corpus_size)
+
+    def test_extrapolation(self):
+        result = self._campaign().run()
+        doubled = result.extrapolate_execs(result.elapsed_ns * 2)
+        assert doubled == pytest.approx(result.execs * 2)

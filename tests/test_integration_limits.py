@@ -1,0 +1,145 @@
+"""Integration tests for resource limits flowing through the stack:
+hang detection, heap budgets, FD limits, and harness config plumbing."""
+
+import pytest
+
+from repro.execution import ClosureXExecutor, ForkServerExecutor
+from repro.minic import compile_c
+from repro.passes import PassManager, baseline_passes, closurex_passes
+from repro.runtime import ClosureXHarness, HarnessConfig, IterationStatus
+from repro.sim_os import Kernel
+from repro.vm import TrapKind
+
+LOOPY_SOURCE = r"""
+int main(int argc, char **argv) {
+    char buf[8];
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    long n = fread(buf, 1, 8, f);
+    fclose(f);
+    if (n > 0 && buf[0] == 'H') {
+        long x = 1;
+        while (x) { x++; }          /* hang */
+    }
+    if (n > 0 && buf[0] == 'B') {
+        long total = 0;
+        while (1) {
+            char *p = (char*)malloc(65536);   /* heap bomb */
+            p[0] = 1;
+            total++;
+        }
+    }
+    return 0;
+}
+"""
+
+
+def closurex_module():
+    module = compile_c(LOOPY_SOURCE, "limits")
+    PassManager(closurex_passes(2)).run(module)
+    return module
+
+
+class TestHangDetection:
+    def test_harness_reports_hang(self):
+        harness = ClosureXHarness(
+            closurex_module(), config=HarnessConfig(instruction_limit=30_000)
+        )
+        harness.boot()
+        result = harness.run_test_case(b"H")
+        assert result.status is IterationStatus.HANG
+        assert not result.status.survivable
+
+    def test_executor_respawns_after_hang(self):
+        executor = ClosureXExecutor(
+            closurex_module(), 100_000, Kernel(),
+            config=HarnessConfig(instruction_limit=30_000),
+        )
+        executor.boot()
+        executor.exec_instruction_limit = 30_000
+        result = executor.run(b"H")
+        assert result.is_hang
+        assert executor.stats.respawns == 1
+        after = executor.run(b"ok")
+        assert after.status.survivable
+
+    def test_forkserver_hang(self):
+        module = compile_c(LOOPY_SOURCE, "limits")
+        PassManager(baseline_passes(2)).run(module)
+        executor = ForkServerExecutor(module, 100_000, Kernel())
+        executor.boot()
+        executor.exec_instruction_limit = 30_000
+        result = executor.run(b"H")
+        assert result.is_hang
+
+
+class TestHeapBudget:
+    def test_heap_bomb_becomes_oom_crash(self):
+        harness = ClosureXHarness(
+            closurex_module(),
+            config=HarnessConfig(heap_budget=1 << 20, instruction_limit=10_000_000),
+        )
+        harness.boot()
+        result = harness.run_test_case(b"B")
+        assert result.status is IterationStatus.CRASH
+        assert result.trap.kind is TrapKind.OUT_OF_MEMORY
+
+    def test_budget_not_consumed_across_iterations(self):
+        """Restoration must return budget: 50 iterations of moderate
+        allocation should never OOM under ClosureX."""
+        source = r"""
+        int main(int argc, char **argv) {
+            char *p = (char*)malloc(200000);
+            p[0] = 1;
+            return 0;                      /* leaks 200KB per run */
+        }
+        """
+        module = compile_c(source, "leaky")
+        PassManager(closurex_passes(2)).run(module)
+        harness = ClosureXHarness(
+            module, config=HarnessConfig(heap_budget=1 << 20)
+        )
+        harness.boot()
+        for _ in range(50):
+            result = harness.run_test_case(b"x")
+            assert result.status is IterationStatus.OK
+
+
+class TestFDLimits:
+    def test_fd_limit_flows_into_harness(self):
+        source = r"""
+        int main(int argc, char **argv) {
+            char *f = fopen(argv[1], "r");
+            return f ? 0 : 1;              /* leaks the handle */
+        }
+        """
+        module = compile_c(source, "fdleak")
+        PassManager(closurex_passes(2)).run(module)
+        harness = ClosureXHarness(
+            module, config=HarnessConfig(max_open_files=8)
+        )
+        harness.boot()
+        # 30 iterations with a 8-FD limit: only the FilePass sweep
+        # keeps this alive.
+        for _ in range(30):
+            result = harness.run_test_case(b"x")
+            assert result.status is IterationStatus.OK
+        assert harness.fd_tracker.total_swept == 30
+
+    def test_without_sweep_the_same_limit_kills(self):
+        source = r"""
+        int main(int argc, char **argv) {
+            char *f = fopen(argv[1], "r");
+            return f ? 0 : 1;
+        }
+        """
+        module = compile_c(source, "fdleak")
+        PassManager(closurex_passes(2, skip={"FilePass"})).run(module)
+        harness = ClosureXHarness(
+            module, config=HarnessConfig(max_open_files=8)
+        )
+        harness.boot()
+        statuses = []
+        for _ in range(12):
+            statuses.append(harness.run_test_case(b"x").status)
+        assert IterationStatus.CRASH in statuses  # FD_EXHAUSTED false crash

@@ -1,0 +1,231 @@
+"""Execution-level conformance tests for IR constructs the MiniC
+front-end doesn't emit (select, switch defaults, undef, casts), plus
+arithmetic corner cases straight through the interpreter."""
+
+import pytest
+
+from repro.ir import (
+    FunctionType,
+    I8,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    UndefValue,
+    int_type,
+)
+from repro.vm import VM, TrapKind, VMTrap
+
+
+def run_unary_function(build_body, param_bits=32, ret_bits=32, arg=0):
+    """Build i<ret> f(i<param>) with *build_body*(builder, arg_value)."""
+    module = Module("m")
+    func = module.add_function(
+        "f", FunctionType(int_type(ret_bits), [int_type(param_bits)])
+    )
+    func.ensure_args(["x"])
+    builder = IRBuilder(func.append_block("entry"))
+    builder.ret(build_body(builder, func.args[0]))
+    vm = VM(module)
+    vm.load()
+    return vm.run_function(func, [arg])
+
+
+class TestSelect:
+    def test_select_true(self):
+        def body(b, x):
+            cond = b.icmp("sgt", x, b.i32(10))
+            return b.select(cond, b.i32(1), b.i32(2))
+
+        assert run_unary_function(body, arg=50) == 1
+        assert run_unary_function(body, arg=5) == 2
+
+
+class TestSwitch:
+    def _switch_fn(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, [I32]))
+        func.ensure_args(["x"])
+        entry = func.append_block("entry")
+        default = func.append_block("default")
+        one = func.append_block("one")
+        two = func.append_block("two")
+        builder = IRBuilder(entry)
+        switch = builder.switch(func.args[0], default)
+        switch.add_case(1, one)
+        switch.add_case(2, two)
+        IRBuilder(default).ret(IRBuilder(default).i32(99))
+        IRBuilder(one).ret(IRBuilder(one).i32(10))
+        IRBuilder(two).ret(IRBuilder(two).i32(20))
+        vm = VM(module)
+        vm.load()
+        return vm, func
+
+    def test_cases_and_default(self):
+        vm, func = self._switch_fn()
+        assert vm.run_function(func, [1]) == 10
+        assert vm.run_function(func, [2]) == 20
+        assert vm.run_function(func, [7]) == 99
+
+    def test_case_values_wrap_to_type(self):
+        vm, func = self._switch_fn()
+        # -1 wrapped as u32 doesn't match any case
+        assert vm.run_function(func, [0xFFFFFFFF]) == 99
+
+
+class TestArithmeticCorners:
+    def test_sdiv_negative_truncates_toward_zero(self):
+        def body(b, x):
+            return b.sdiv(x, b.i32(2))
+
+        result = run_unary_function(body, arg=int_type(32).wrap(-7))
+        assert int_type(32).to_signed(result) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        def body(b, x):
+            return b.srem(x, b.i32(3))
+
+        result = run_unary_function(body, arg=int_type(32).wrap(-7))
+        assert int_type(32).to_signed(result) == -1
+
+    def test_udiv_treats_operands_unsigned(self):
+        def body(b, x):
+            return b.udiv(x, b.i32(2))
+
+        result = run_unary_function(body, arg=int_type(32).wrap(-2))
+        assert result == 0x7FFFFFFF
+
+    def test_udiv_by_zero_traps(self):
+        def body(b, x):
+            return b.udiv(x, b.i32(0))
+
+        with pytest.raises(VMTrap) as info:
+            run_unary_function(body, arg=1)
+        assert info.value.kind is TrapKind.DIV_BY_ZERO
+
+    def test_oversized_shift_produces_zero(self):
+        def body(b, x):
+            return b.shl(x, b.i32(40))
+
+        assert run_unary_function(body, arg=1) == 0
+
+    def test_ashr_keeps_sign(self):
+        def body(b, x):
+            return b.ashr(x, b.i32(4))
+
+        result = run_unary_function(body, arg=int_type(32).wrap(-64))
+        assert int_type(32).to_signed(result) == -4
+
+    def test_lshr_zero_fills(self):
+        def body(b, x):
+            return b.lshr(x, b.i32(28))
+
+        assert run_unary_function(body, arg=int_type(32).wrap(-1)) == 0xF
+
+    def test_mul_wraps(self):
+        def body(b, x):
+            return b.mul(x, x)
+
+        assert run_unary_function(body, arg=1 << 20) == 0  # 2^40 mod 2^32
+
+    def test_unsigned_comparison(self):
+        def body(b, x):
+            cond = b.icmp("ugt", x, b.i32(10))
+            return b.zext(cond, int_type(32))
+
+        # -1 unsigned is huge
+        assert run_unary_function(body, arg=int_type(32).wrap(-1)) == 1
+
+
+class TestCastsAtRuntime:
+    def test_sext_then_trunc_roundtrip(self):
+        def body(b, x):
+            wide = b.sext(x, I64)
+            return b.trunc(wide, int_type(32))
+
+        value = int_type(32).wrap(-5)
+        assert run_unary_function(body, arg=value) == value
+
+    def test_sext_sign_extends(self):
+        def body(b, x):
+            return b.sext(x, I64)
+
+        result = run_unary_function(body, param_bits=8, ret_bits=64,
+                                    arg=int_type(8).wrap(-1))
+        assert result == (1 << 64) - 1
+
+    def test_zext_zero_extends(self):
+        def body(b, x):
+            return b.zext(x, I64)
+
+        result = run_unary_function(body, param_bits=8, ret_bits=64, arg=0xFF)
+        assert result == 0xFF
+
+    def test_ptrtoint_inttoptr_roundtrip(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, []))
+        builder = IRBuilder(func.append_block("entry"))
+        slot = builder.alloca(I32)
+        builder.store(builder.i32(77), slot)
+        as_int = builder.ptrtoint(slot, I64)
+        back = builder.inttoptr(as_int, slot.type)
+        builder.ret(builder.load(back))
+        vm = VM(module)
+        vm.load()
+        assert vm.run_function(func, []) == 77
+
+
+class TestUndefAndUnreachable:
+    def test_undef_reads_as_zero(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, []))
+        builder = IRBuilder(func.append_block("entry"))
+        builder.ret(builder.add(UndefValue(I32), builder.i32(3)))
+        vm = VM(module)
+        vm.load()
+        assert vm.run_function(func, []) == 3
+
+    def test_unreachable_traps(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, []))
+        IRBuilder(func.append_block("entry")).unreachable()
+        vm = VM(module)
+        vm.load()
+        with pytest.raises(VMTrap) as info:
+            vm.run_function(func, [])
+        assert info.value.kind is TrapKind.UNREACHABLE
+
+
+class TestGlobalAccessAtRuntime:
+    def test_global_array_read_write(self):
+        module = Module("m")
+        from repro.ir import ArrayType
+
+        module.add_global("arr", ArrayType(I8, 8))
+        func = module.add_function("f", FunctionType(I32, []))
+        builder = IRBuilder(func.append_block("entry"))
+        base = module.get_global("arr")
+        slot = builder.gep(base, [builder.i64(0), builder.i64(3)])
+        builder.store(builder.i8(0x5A), slot)
+        loaded = builder.load(slot)
+        builder.ret(builder.zext(loaded, I32))
+        vm = VM(module)
+        vm.load()
+        assert vm.run_function(func, []) == 0x5A
+
+    def test_global_oob_traps_as_array_oob(self):
+        module = Module("m")
+        from repro.ir import ArrayType
+
+        module.add_global("arr", ArrayType(I8, 8))
+        func = module.add_function("f", FunctionType(I32, []))
+        builder = IRBuilder(func.append_block("entry"))
+        base = module.get_global("arr")
+        slot = builder.gep(base, [builder.i64(0), builder.i64(9)])
+        builder.store(builder.i8(1), slot)
+        builder.ret(builder.i32(0))
+        vm = VM(module)
+        vm.load()
+        with pytest.raises(VMTrap) as info:
+            vm.run_function(func, [])
+        assert info.value.kind is TrapKind.ARRAY_OOB

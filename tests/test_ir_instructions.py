@@ -1,0 +1,231 @@
+"""Unit tests for instruction construction and typing rules."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    ArrayType,
+    BinOp,
+    Call,
+    Cast,
+    CondBr,
+    FunctionType,
+    GetElementPtr,
+    I1,
+    I8,
+    I32,
+    I64,
+    ICmp,
+    IRBuilder,
+    Load,
+    Module,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    StructType,
+    Switch,
+    VOID,
+    const_i32,
+    const_i64,
+    null_ptr,
+    pointer_type,
+)
+
+
+def _func(ret=I32, params=(I32,)):
+    module = Module("m")
+    func = module.add_function("f", FunctionType(ret, list(params)))
+    func.ensure_args()
+    return module, func
+
+
+class TestBinOpAndICmp:
+    def test_binop_requires_matching_int_types(self):
+        with pytest.raises(TypeError):
+            BinOp("add", const_i32(1), const_i64(1))
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("frobnicate", const_i32(1), const_i32(2))
+
+    def test_binop_result_type(self):
+        assert BinOp("mul", const_i64(2), const_i64(3)).type == I64
+
+    def test_icmp_produces_i1(self):
+        assert ICmp("eq", const_i32(1), const_i32(2)).type == I1
+
+    def test_icmp_allows_pointers(self):
+        inst = ICmp("eq", null_ptr(I8), null_ptr(I8))
+        assert inst.type == I1
+
+    def test_icmp_rejects_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt?", const_i32(1), const_i32(2))
+
+
+class TestMemoryInstructions:
+    def test_alloca_size_and_type(self):
+        inst = Alloca(I64, count=4)
+        assert inst.allocation_size() == 32
+        assert inst.type == pointer_type(I64)
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(const_i32(0))
+
+    def test_load_result_is_pointee(self):
+        slot = Alloca(I32)
+        assert Load(slot).type == I32
+
+    def test_store_type_check(self):
+        slot = Alloca(I32)
+        Store(const_i32(1), slot)  # ok
+        with pytest.raises(TypeError):
+            Store(const_i64(1), slot)
+
+    def test_store_is_void(self):
+        assert Store(const_i32(1), Alloca(I32)).type.is_void
+
+
+class TestGEP:
+    def test_first_index_keeps_type(self):
+        base = Alloca(I32)
+        gep = GetElementPtr(base, [const_i64(3)])
+        assert gep.type == pointer_type(I32)
+
+    def test_struct_navigation(self):
+        struct = StructType("pair", [("a", I32), ("b", I64)])
+        base = Alloca(struct)
+        gep = GetElementPtr(base, [const_i64(0), const_i32(1)])
+        assert gep.type == pointer_type(I64)
+
+    def test_array_navigation(self):
+        base = Alloca(ArrayType(I8, 16))
+        gep = GetElementPtr(base, [const_i64(0), const_i64(5)])
+        assert gep.type == pointer_type(I8)
+
+    def test_struct_index_must_be_constant(self):
+        struct = StructType("s", [("a", I32)])
+        base = Alloca(struct)
+        variable_index = BinOp("add", const_i32(0), const_i32(0))
+        with pytest.raises(TypeError):
+            GetElementPtr(base, [const_i64(0), variable_index])
+
+    def test_cannot_index_scalar(self):
+        base = Alloca(I32)
+        with pytest.raises(TypeError):
+            GetElementPtr(base, [const_i64(0), const_i32(0)])
+
+    def test_requires_index(self):
+        with pytest.raises(ValueError):
+            GetElementPtr(Alloca(I32), [])
+
+
+class TestCalls:
+    def test_arg_count_checked(self):
+        module, func = _func()
+        with pytest.raises(TypeError):
+            Call(func, [])
+
+    def test_arg_types_checked(self):
+        module, func = _func()
+        with pytest.raises(TypeError):
+            Call(func, [const_i64(1)])
+
+    def test_result_type(self):
+        module, func = _func()
+        call = Call(func, [const_i32(1)])
+        assert call.type == I32
+        assert call.callee is func
+
+
+class TestCasts:
+    def test_trunc_must_narrow(self):
+        with pytest.raises(TypeError):
+            Cast("trunc", const_i32(1), I64)
+
+    def test_zext_must_widen(self):
+        with pytest.raises(TypeError):
+            Cast("zext", const_i64(1), I32)
+
+    def test_bitcast_pointers_only(self):
+        with pytest.raises(TypeError):
+            Cast("bitcast", const_i32(1), I64)
+
+    def test_ptr_int_conversions(self):
+        ptr = Alloca(I8)
+        as_int = Cast("ptrtoint", ptr, I64)
+        assert as_int.type == I64
+        back = Cast("inttoptr", as_int, pointer_type(I8))
+        assert back.type == pointer_type(I8)
+
+
+class TestControlFlow:
+    def test_condbr_requires_i1(self):
+        _module, func = _func()
+        b1, b2 = func.append_block(), func.append_block()
+        with pytest.raises(TypeError):
+            CondBr(const_i32(1), b1, b2)
+
+    def test_switch_successors(self):
+        _module, func = _func()
+        default, case1 = func.append_block(), func.append_block()
+        switch = Switch(const_i32(0), default)
+        switch.add_case(1, case1)
+        assert switch.successors() == [default, case1]
+
+    def test_ret_terminator(self):
+        inst = Ret(const_i32(0))
+        assert inst.is_terminator
+        assert inst.successors() == []
+        assert Ret().value is None
+
+    def test_select_type_checks(self):
+        cond = ICmp("eq", const_i32(1), const_i32(1))
+        sel = Select(cond, const_i32(1), const_i32(2))
+        assert sel.type == I32
+        with pytest.raises(TypeError):
+            Select(cond, const_i32(1), const_i64(2))
+        with pytest.raises(TypeError):
+            Select(const_i32(1), const_i32(1), const_i32(2))
+
+
+class TestPhi:
+    def test_incoming_type_checked(self):
+        _module, func = _func()
+        block = func.append_block()
+        phi = Phi(I32)
+        with pytest.raises(TypeError):
+            phi.add_incoming(const_i64(1), block)
+
+    def test_value_for_block(self):
+        _module, func = _func()
+        b1, b2 = func.append_block(), func.append_block()
+        phi = Phi(I32)
+        phi.add_incoming(const_i32(1), b1)
+        phi.add_incoming(const_i32(2), b2)
+        assert phi.value_for_block(b2).value == 2
+        with pytest.raises(KeyError):
+            phi.value_for_block(func.append_block())
+
+
+class TestBlockDiscipline:
+    def test_no_instructions_after_terminator(self):
+        _module, func = _func(VOID, ())
+        block = func.append_block("entry")
+        builder = IRBuilder(block)
+        builder.ret()
+        with pytest.raises(ValueError):
+            block.append(Ret())
+
+    def test_erase_from_parent(self):
+        _module, func = _func(VOID, ())
+        block = func.append_block("entry")
+        builder = IRBuilder(block)
+        slot = builder.alloca(I32)
+        builder.ret()
+        slot.erase_from_parent()
+        assert len(block) == 1
+        with pytest.raises(ValueError):
+            slot.erase_from_parent()

@@ -1,0 +1,255 @@
+"""Unit tests for Module/Function/BasicBlock, the builder, verifier,
+printer, and CFG utilities."""
+
+import pytest
+
+from repro.ir import (
+    Br,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    Phi,
+    Ret,
+    StructType,
+    VOID,
+    VerificationError,
+    cfg,
+    const_i32,
+    print_function,
+    print_module,
+    verify_module,
+)
+from repro.ir import cfg
+
+
+class TestModuleSymbols:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function("f", FunctionType(VOID, []))
+        with pytest.raises(ValueError):
+            module.add_function("f", FunctionType(VOID, []))
+
+    def test_function_global_namespace_shared(self):
+        module = Module("m")
+        module.add_global("sym", I32)
+        with pytest.raises(ValueError):
+            module.add_function("sym", FunctionType(VOID, []))
+
+    def test_declare_function_idempotent(self):
+        module = Module("m")
+        first = module.declare_function("malloc", FunctionType(I64, [I64]))
+        second = module.declare_function("malloc", FunctionType(I64, [I64]))
+        assert first is second
+
+    def test_declare_conflicting_signature_rejected(self):
+        module = Module("m")
+        module.declare_function("f", FunctionType(I64, [I64]))
+        with pytest.raises(ValueError):
+            module.declare_function("f", FunctionType(I32, []))
+
+    def test_rename_preserves_order(self):
+        module = Module("m")
+        module.add_function("a", FunctionType(VOID, []))
+        main = module.add_function("main", FunctionType(VOID, []))
+        module.add_function("z", FunctionType(VOID, []))
+        module.rename_function(main, "target_main")
+        assert list(module.functions) == ["a", "target_main", "z"]
+        assert module.get_function("target_main") is main
+
+    def test_rename_to_existing_rejected(self):
+        module = Module("m")
+        module.add_function("a", FunctionType(VOID, []))
+        main = module.add_function("main", FunctionType(VOID, []))
+        with pytest.raises(ValueError):
+            module.rename_function(main, "a")
+
+    def test_globals_in_section(self):
+        module = Module("m")
+        module.add_global("a", I32)
+        module.add_global("b", I32, section="special")
+        assert [g.name for g in module.globals_in_section("special")] == ["b"]
+
+    def test_struct_registry(self):
+        module = Module("m")
+        struct = module.add_struct(StructType("s", [("x", I32)]))
+        assert module.get_struct("s") is struct
+        with pytest.raises(ValueError):
+            module.add_struct(StructType("s", []))
+
+
+class TestFunctionBlocks:
+    def test_block_names_uniquified(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(VOID, []))
+        first = func.append_block("loop")
+        second = func.append_block("loop")
+        assert first.name != second.name
+
+    def test_entry_block_of_declaration_raises(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(VOID, []))
+        assert func.is_declaration
+        with pytest.raises(ValueError):
+            _ = func.entry_block
+
+    def test_instruction_count(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(VOID, []))
+        builder = IRBuilder(func.append_block())
+        builder.alloca(I32)
+        builder.ret()
+        assert func.instruction_count() == 2
+        assert module.instruction_count() == 2
+
+
+class TestVerifier:
+    def _skeleton(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, []))
+        return module, func
+
+    def test_valid_module_passes(self):
+        module, func = self._skeleton()
+        builder = IRBuilder(func.append_block("entry"))
+        builder.ret(const_i32(0))
+        verify_module(module)
+
+    def test_missing_terminator_detected(self):
+        module, func = self._skeleton()
+        block = func.append_block("entry")
+        IRBuilder(block).alloca(I32)
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(module)
+
+    def test_empty_block_detected(self):
+        module, func = self._skeleton()
+        func.append_block("entry")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_module(module)
+
+    def test_use_before_def_detected(self):
+        module, func = self._skeleton()
+        entry = func.append_block("entry")
+        later = func.append_block("later")
+        builder = IRBuilder(later)
+        value = builder.add(const_i32(1), const_i32(2))
+        builder.ret(value)
+        # entry uses a value defined only in 'later'
+        entry_builder = IRBuilder(entry)
+        entry_builder.ret(value)
+        with pytest.raises(VerificationError, match="before definition"):
+            verify_module(module)
+
+    def test_phi_incoming_mismatch_detected(self):
+        module, func = self._skeleton()
+        entry = func.append_block("entry")
+        merge = func.append_block("merge")
+        IRBuilder(entry).br(merge)
+        phi = Phi(I32)
+        phi.add_incoming(const_i32(1), func.append_block("bogus"))
+        merge.append(phi)
+        merge.append(Ret(phi))
+        with pytest.raises(VerificationError, match="phi"):
+            verify_module(module)
+
+    def test_constant_in_closure_section_detected(self):
+        module, func = self._skeleton()
+        builder = IRBuilder(func.append_block("entry"))
+        builder.ret(const_i32(0))
+        var = module.add_global("c", I32, const_i32(1), is_constant=True)
+        var.set_section("closure_global_section")
+        with pytest.raises(VerificationError, match="closure_global_section"):
+            verify_module(module)
+
+
+class TestPrinter:
+    def test_prints_declaration(self):
+        module = Module("m")
+        module.declare_function("puts", FunctionType(I32, [I64]))
+        text = print_module(module)
+        assert "declare i32 @puts(i64)" in text
+
+    def test_prints_definition(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, [I32]))
+        func.ensure_args(["x"])
+        builder = IRBuilder(func.append_block("entry"))
+        builder.ret(builder.add(func.args[0], const_i32(1)))
+        text = print_function(func)
+        assert "define i32 @f(i32 %x)" in text
+        assert "ret i32" in text
+        assert "add i32" in text
+
+    def test_prints_globals_and_structs(self):
+        module = Module("m")
+        module.add_struct(StructType("pair", [("a", I32), ("b", I32)]))
+        module.add_global("g", I32)
+        text = print_module(module)
+        assert "%pair = type" in text
+        assert "@g = global i32" in text
+
+
+class TestCFG:
+    def _diamond(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, [I32]))
+        func.ensure_args(["x"])
+        entry = func.append_block("entry")
+        left = func.append_block("left")
+        right = func.append_block("right")
+        merge = func.append_block("merge")
+        builder = IRBuilder(entry)
+        cond = builder.icmp("eq", func.args[0], const_i32(0))
+        builder.cond_br(cond, left, right)
+        IRBuilder(left).br(merge)
+        IRBuilder(right).br(merge)
+        IRBuilder(merge).ret(const_i32(0))
+        return module, func, (entry, left, right, merge)
+
+    def test_edges(self):
+        _module, func, (entry, left, right, merge) = self._diamond()
+        edges = cfg.function_edges(func)
+        assert (entry, left) in edges
+        assert (entry, right) in edges
+        assert (left, merge) in edges
+        assert len(edges) == 4
+
+    def test_predecessors(self):
+        _module, func, (_entry, left, right, merge) = self._diamond()
+        preds = cfg.predecessors(func)
+        assert set(preds[merge]) == {left, right}
+
+    def test_reachability(self):
+        module, func, blocks = self._diamond()
+        unreachable = func.append_block("dead")
+        IRBuilder(unreachable).ret(const_i32(1))
+        reachable = cfg.reachable_blocks(func)
+        assert unreachable not in reachable
+        assert set(blocks) <= reachable
+
+    def test_topological_order_starts_at_entry(self):
+        _module, func, (entry, _l, _r, merge) = self._diamond()
+        order = cfg.topological_order(func)
+        assert order[0] is entry
+        assert order[-1] is merge
+
+    def test_edge_count_and_block_ids(self):
+        module, func, _blocks = self._diamond()
+        assert cfg.edge_count(module) == 4
+        ids = cfg.block_ids(module)
+        assert sorted(ids.values()) == [0, 1, 2, 3]
+
+    def test_call_site_count_ignores_declarations(self):
+        module, func, _ = self._diamond()
+        helper = module.add_function("h", FunctionType(VOID, []))
+        IRBuilder(helper.append_block()).ret()
+        declared = module.declare_function("ext", FunctionType(VOID, []))
+        merge = func.get_block("merge")
+        merge.instructions.pop()  # drop ret
+        builder = IRBuilder(merge)
+        builder.call(helper, [])
+        builder.call(declared, [])
+        builder.ret(const_i32(0))
+        assert cfg.call_site_count(module) == 1

@@ -1,0 +1,205 @@
+"""Tests for the textual IR parser, including full round-trips of every
+benchmark target: parse(print(module)) must reproduce a module that
+prints identically and behaves identically."""
+
+import pytest
+
+from repro.ir import Module, print_module, verify_module
+from repro.ir.parser import IRParseError, parse_module
+from repro.minic import compile_c
+from repro.targets import get_target, target_names
+from repro.vm import VM
+
+SIMPLE = """
+int table[4];
+const char MAGIC[3] = "hi";
+int counter = 7;
+
+int helper(int x) {
+    if (x > 2) { return x * 2; }
+    return x;
+}
+
+int main(int argc, char **argv) {
+    counter += helper(argc);
+    table[1] = counter;
+    char *p = (char*)malloc(8);
+    free(p);
+    return table[1];
+}
+"""
+
+
+def roundtrip(module: Module) -> Module:
+    text = print_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    return parsed
+
+
+class TestRoundTrip:
+    def test_text_is_stable(self):
+        module = compile_c(SIMPLE, "rt")
+        first = print_module(module)
+        second = print_module(parse_module(first))
+        assert first == second
+
+    def test_behaviour_preserved(self):
+        module = compile_c(SIMPLE, "rt")
+        parsed = roundtrip(module)
+
+        def run(m):
+            vm = VM(m)
+            vm.load()
+            argc, argv = vm.setup_argv(["rt", "x"])
+            return vm.run_function(m.get_function("main"), [argc, argv])
+
+        assert run(module) == run(parsed)
+
+    def test_globals_preserved(self):
+        module = compile_c(SIMPLE, "rt")
+        parsed = roundtrip(module)
+        assert set(parsed.globals) == set(module.globals)
+        for name in module.globals:
+            original = module.globals[name]
+            clone = parsed.globals[name]
+            assert clone.is_constant == original.is_constant
+            assert clone.section == original.section
+            assert clone.initial_bytes() == original.initial_bytes()
+
+    def test_module_name_preserved(self):
+        module = compile_c(SIMPLE, "some-name")
+        assert roundtrip(module).name == "some-name"
+
+    @pytest.mark.parametrize("name", sorted(target_names()))
+    def test_all_targets_roundtrip(self, name):
+        """The strongest structural test: every benchmark target's
+        instrumented build survives print -> parse -> print exactly."""
+        module = get_target(name).build_closurex()
+        first = print_module(module)
+        parsed = parse_module(first)
+        verify_module(parsed)
+        assert print_module(parsed) == first
+
+
+class TestStructRoundTrip:
+    SOURCE = """
+    struct Node { int value; struct Node *next; char tag[4]; };
+    struct Node pool[2];
+
+    int main(int argc, char **argv) {
+        pool[0].value = 5;
+        pool[0].next = &pool[1];
+        pool[1].value = 37;
+        return pool[0].next->value + pool[0].value;
+    }
+    """
+
+    def test_struct_types_roundtrip(self):
+        module = compile_c(self.SOURCE, "structs")
+        parsed = roundtrip(module)
+        struct = parsed.get_struct("Node")
+        assert struct.size() == module.get_struct("Node").size()
+
+    def test_struct_behaviour(self):
+        parsed = roundtrip(compile_c(self.SOURCE, "structs"))
+        vm = VM(parsed)
+        vm.load()
+        argc, argv = vm.setup_argv(["s"])
+        assert vm.run_function(parsed.get_function("main"), [argc, argv]) == 42
+
+
+class TestParserErrors:
+    def test_unknown_instruction(self):
+        text = (
+            "define i32 @f() {\n"
+            "entry:\n"
+            "  %x = frobnicate i32 1\n"
+            "  ret i32 0\n"
+            "}\n"
+        )
+        with pytest.raises(IRParseError, match="unknown instruction"):
+            parse_module(text)
+
+    def test_unknown_value(self):
+        text = (
+            "define i32 @f() {\n"
+            "entry:\n"
+            "  ret i32 %missing\n"
+            "}\n"
+        )
+        with pytest.raises(IRParseError, match="unknown value"):
+            parse_module(text)
+
+    def test_unterminated_body(self):
+        text = "define i32 @f() {\nentry:\n  ret i32 0\n"
+        with pytest.raises(IRParseError, match="unterminated"):
+            parse_module(text)
+
+    def test_unknown_struct_type(self):
+        text = "@g = global %nope zeroinitializer\n"
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+
+class TestHandWrittenIR:
+    def test_minimal_module(self):
+        text = (
+            "define i32 @main(i32 %x) {\n"
+            "entry:\n"
+            "  %doubled = add i32 %x, %x\n"
+            "  %big = icmp sgt i32 %doubled, 10\n"
+            "  br i1 %big, label %yes, label %no\n"
+            "yes:\n"
+            "  ret i32 1\n"
+            "no:\n"
+            "  ret i32 0\n"
+            "}\n"
+        )
+        module = parse_module(text)
+        verify_module(module)
+        vm = VM(module)
+        vm.load()
+        assert vm.run_function(module.get_function("main"), [20]) == 1
+        assert vm.run_function(module.get_function("main"), [2]) == 0
+
+    def test_phi_parses(self):
+        text = (
+            "define i32 @f(i32 %x) {\n"
+            "entry:\n"
+            "  %c = icmp eq i32 %x, 0\n"
+            "  br i1 %c, label %a, label %b\n"
+            "a:\n"
+            "  br label %merge\n"
+            "b:\n"
+            "  br label %merge\n"
+            "merge:\n"
+            "  %r = phi i32 [ 10, %a ], [ 20, %b ]\n"
+            "  ret i32 %r\n"
+            "}\n"
+        )
+        module = parse_module(text)
+        verify_module(module)
+        vm = VM(module)
+        vm.load()
+        assert vm.run_function(module.get_function("f"), [0]) == 10
+        assert vm.run_function(module.get_function("f"), [5]) == 20
+
+    def test_switch_parses(self):
+        text = (
+            "define i32 @f(i32 %x) {\n"
+            "entry:\n"
+            "  switch i32 %x, label %d [ i32 1, label %one i32 2, label %two ]\n"
+            "one:\n"
+            "  ret i32 100\n"
+            "two:\n"
+            "  ret i32 200\n"
+            "d:\n"
+            "  ret i32 0\n"
+            "}\n"
+        )
+        module = parse_module(text)
+        vm = VM(module)
+        vm.load()
+        assert vm.run_function(module.get_function("f"), [2]) == 200
+        assert vm.run_function(module.get_function("f"), [9]) == 0

@@ -1,0 +1,162 @@
+"""Unit tests for the MiniIR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    VoidType,
+    int_type,
+    pointer_type,
+)
+
+
+class TestIntType:
+    def test_valid_widths(self):
+        for bits in (1, 8, 16, 32, 64):
+            assert IntType(bits).bits == bits
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_sizes(self):
+        assert I1.size() == 1
+        assert I8.size() == 1
+        assert I16.size() == 2
+        assert I32.size() == 4
+        assert I64.size() == 8
+
+    def test_interning(self):
+        assert int_type(32) is int_type(32)
+        assert int_type(32) == IntType(32)
+
+    def test_wrap_masks_to_width(self):
+        assert I8.wrap(256) == 0
+        assert I8.wrap(-1) == 255
+        assert I32.wrap(1 << 35) == 0
+        assert I16.wrap(0x1FFFF) == 0xFFFF
+
+    def test_to_signed(self):
+        assert I8.to_signed(255) == -1
+        assert I8.to_signed(127) == 127
+        assert I32.to_signed(0x80000000) == -(1 << 31)
+        assert I64.to_signed(2**64 - 1) == -1
+
+    def test_signed_bounds(self):
+        assert I8.signed_min == -128
+        assert I8.signed_max == 127
+        assert I8.unsigned_max == 255
+        assert I1.signed_max == 1
+
+    def test_equality_and_hash(self):
+        assert int_type(16) == IntType(16)
+        assert hash(int_type(16)) == hash(IntType(16))
+        assert int_type(16) != int_type(32)
+
+
+class TestVoidType:
+    def test_singleton(self):
+        assert VoidType() is VOID
+
+    def test_has_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.size()
+
+    def test_is_void(self):
+        assert VOID.is_void
+        assert not I32.is_void
+
+
+class TestPointerType:
+    def test_size_is_8(self):
+        assert pointer_type(I32).size() == 8
+
+    def test_void_pointee_becomes_i8(self):
+        assert PointerType(VOID).pointee == I8
+
+    def test_equality_by_pointee(self):
+        assert pointer_type(I32) == PointerType(I32)
+        assert pointer_type(I32) != pointer_type(I64)
+
+    def test_str(self):
+        assert str(pointer_type(I8)) == "i8*"
+        assert str(pointer_type(pointer_type(I8))) == "i8**"
+
+
+class TestArrayType:
+    def test_size(self):
+        assert ArrayType(I32, 10).size() == 40
+        assert ArrayType(I8, 0).size() == 0
+
+    def test_alignment_follows_element(self):
+        assert ArrayType(I64, 3).alignment() == 8
+        assert ArrayType(I8, 100).alignment() == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_nested_arrays(self):
+        inner = ArrayType(I16, 4)
+        outer = ArrayType(inner, 3)
+        assert outer.size() == 24
+
+
+class TestStructType:
+    def test_c_layout_with_padding(self):
+        struct = StructType("s", [("a", I8), ("b", I32), ("c", I8)])
+        assert struct.field_offset(0) == 0
+        assert struct.field_offset(1) == 4   # padded to i32 alignment
+        assert struct.field_offset(2) == 8
+        assert struct.size() == 12           # rounded up to align 4
+
+    def test_empty_struct(self):
+        assert StructType("e", []).size() == 0
+
+    def test_field_index_lookup(self):
+        struct = StructType("s", [("x", I32), ("y", I64)])
+        assert struct.field_index("y") == 1
+        with pytest.raises(KeyError):
+            struct.field_index("z")
+
+    def test_field_type(self):
+        struct = StructType("s", [("x", I32), ("y", I64)])
+        assert struct.field_type(1) == I64
+
+    def test_pointer_fields_align_to_8(self):
+        struct = StructType("s", [("tag", I8), ("next", pointer_type(I8))])
+        assert struct.field_offset(1) == 8
+        assert struct.size() == 16
+
+    def test_equality_is_nominal(self):
+        a = StructType("same", [("x", I32)])
+        b = StructType("same", [("y", I64)])
+        assert a == b  # nominal typing, as for LLVM named structs
+
+
+class TestFunctionType:
+    def test_str(self):
+        ft = FunctionType(I32, [I64, pointer_type(I8)])
+        assert str(ft) == "i32 (i64, i8*)"
+
+    def test_vararg_marker(self):
+        ft = FunctionType(VOID, [I32], vararg=True)
+        assert "..." in str(ft)
+
+    def test_no_size(self):
+        with pytest.raises(TypeError):
+            FunctionType(VOID, []).size()
+
+    def test_equality(self):
+        assert FunctionType(I32, [I64]) == FunctionType(I32, [I64])
+        assert FunctionType(I32, [I64]) != FunctionType(I32, [I32])

@@ -1,0 +1,127 @@
+"""Unit tests for values, constants, use-lists, and replaceAllUsesWith."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    ConstantData,
+    ConstantInt,
+    ConstantNull,
+    FunctionType,
+    GlobalVariable,
+    I8,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    ZeroInitializer,
+    const_i32,
+    null_ptr,
+    pointer_type,
+)
+
+
+class TestConstants:
+    def test_constant_int_wraps(self):
+        assert ConstantInt(I8, 300).value == 44
+        assert ConstantInt(I32, -1).value == 0xFFFFFFFF
+
+    def test_signed_value(self):
+        assert ConstantInt(I8, 0xFF).signed_value == -1
+        assert ConstantInt(I32, 5).signed_value == 5
+
+    def test_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(pointer_type(I8), 0)
+
+    def test_null_refs(self):
+        assert null_ptr(I8).ref() == "null"
+
+    def test_constant_data_size_checked(self):
+        with pytest.raises(ValueError):
+            ConstantData(ArrayType(I8, 4), b"too long")
+        cd = ConstantData(ArrayType(I8, 4), b"abcd")
+        assert cd.data == b"abcd"
+
+
+class TestGlobalVariable:
+    def test_default_sections(self):
+        zero = GlobalVariable("z", I32)
+        assert zero.section == ".bss"
+        init = GlobalVariable("d", I32, ConstantInt(I32, 7))
+        assert init.section == ".data"
+        const = GlobalVariable("c", I32, ConstantInt(I32, 7), is_constant=True)
+        assert const.section == ".rodata"
+
+    def test_type_is_pointer_to_value_type(self):
+        var = GlobalVariable("g", I32)
+        assert var.type == pointer_type(I32)
+        assert var.value_type == I32
+
+    def test_initial_bytes_zero(self):
+        assert GlobalVariable("z", I64).initial_bytes() == bytes(8)
+
+    def test_initial_bytes_int(self):
+        var = GlobalVariable("d", I32, ConstantInt(I32, 0x01020304))
+        assert var.initial_bytes() == bytes([4, 3, 2, 1])
+
+    def test_initial_bytes_data(self):
+        array = ArrayType(I8, 3)
+        var = GlobalVariable("s", array, ConstantData(array, b"hi\x00"))
+        assert var.initial_bytes() == b"hi\x00"
+
+    def test_set_section(self):
+        var = GlobalVariable("g", I32)
+        var.set_section("closure_global_section")
+        assert var.section == "closure_global_section"
+
+
+class TestUseLists:
+    def _make_add(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, [I32]))
+        func.ensure_args(["x"])
+        builder = IRBuilder(func.append_block("entry"))
+        total = builder.add(func.args[0], const_i32(1))
+        builder.ret(total)
+        return module, func, total
+
+    def test_operands_register_uses(self):
+        _module, func, total = self._make_add()
+        arg = func.args[0]
+        assert arg.num_uses == 1
+        assert total.num_uses == 1  # used by ret
+
+    def test_replace_all_uses_with(self):
+        _module, func, total = self._make_add()
+        replacement = const_i32(42)
+        count = total.replace_all_uses_with(replacement)
+        assert count == 1
+        ret = func.entry_block.instructions[-1]
+        assert ret.value is replacement
+        assert total.num_uses == 0
+
+    def test_replace_with_self_is_noop(self):
+        _module, _func, total = self._make_add()
+        assert total.replace_all_uses_with(total) == 0
+
+    def test_users_are_distinct(self):
+        module = Module("m")
+        func = module.add_function("f", FunctionType(I32, [I32]))
+        func.ensure_args(["x"])
+        builder = IRBuilder(func.append_block("entry"))
+        doubled = builder.add(func.args[0], func.args[0])
+        builder.ret(doubled)
+        assert len(list(func.args[0].users())) == 1  # one user, two uses
+        assert func.args[0].num_uses == 2
+
+    def test_drop_all_operands(self):
+        _module, func, total = self._make_add()
+        arg = func.args[0]
+        ret = func.entry_block.instructions[-1]
+        ret.erase_from_parent()
+        assert total.num_uses == 0
+        assert arg.num_uses == 1  # still used by the add
+
+    def test_zero_initializer_ref(self):
+        assert ZeroInitializer(I32).ref() == "zeroinitializer"

@@ -1,0 +1,315 @@
+"""End-to-end MiniC semantics tests: compile with the front-end, execute
+in the MiniVM, check the observable result — the closest thing the
+front-end has to a conformance suite."""
+
+import pytest
+
+from repro.minic import compile_c
+from repro.minic.errors import SemanticError
+from repro.vm import VM, ProcessExit, TrapKind, VMTrap
+
+
+def run_main(source: str, argv: list[str] | None = None,
+             files: dict[str, bytes] | None = None) -> int:
+    module = compile_c(source, "test")
+    vm = VM(module)
+    vm.load()
+    for path, data in (files or {}).items():
+        vm.fs.write_file(path, data)
+    argc, argv_addr = vm.setup_argv(argv or ["test"])
+    return vm.run_function(module.get_function("main"), [argc, argv_addr])
+
+
+def expr_main(body: str) -> int:
+    return run_main("int main(int argc, char **argv) { " + body + " }")
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert expr_main("return 2 + 3 * 4 - 6 / 2;") == 11
+
+    def test_signed_division_truncates_toward_zero(self):
+        assert expr_main("int a = -7; return a / 2;") & 0xFFFFFFFF == 0xFFFFFFFD
+
+    def test_modulo_sign(self):
+        assert expr_main("int a = -7; return a % 3 + 10;") == 9  # -1 + 10
+
+    def test_shifts(self):
+        assert expr_main("return (1 << 10) >> 3;") == 128
+
+    def test_bitwise(self):
+        assert expr_main("return (0xF0 | 0x0F) & 0x3C ^ 0x01;") == 0x3D
+
+    def test_unsigned_hex_literal_compares_correctly(self):
+        # 0xa1b2c3d4 must zero-extend to 64 bits (C unsigned semantics).
+        assert expr_main(
+            "long m = 0xa1b2c3d4; return m == 0xa1b2c3d4 ? 1 : 0;"
+        ) == 1
+
+    def test_char_is_unsigned(self):
+        assert expr_main("char c = 0xff; return c > 0 ? 1 : 0;") == 1
+
+    def test_integer_promotion_in_comparison(self):
+        assert expr_main("char c = 200; int x = 100; return c > x ? 1 : 0;") == 1
+
+    def test_unary_minus_and_not(self):
+        assert expr_main("int a = 5; return -a + 10;") == 5
+        assert expr_main("return !0 + !7;") == 1
+        assert expr_main("return (~0 & 0xff);") == 255
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert expr_main("if (argc > 0) { return 1; } else { return 2; }") == 1
+
+    def test_while_loop(self):
+        assert expr_main(
+            "int s = 0; int i = 0; while (i < 5) { s += i; i++; } return s;"
+        ) == 10
+
+    def test_for_with_break_continue(self):
+        assert expr_main(
+            "int s = 0;"
+            "for (int i = 0; i < 10; i++) {"
+            "  if (i == 7) break;"
+            "  if (i % 2) continue;"
+            "  s += i;"
+            "} return s;"
+        ) == 12  # 0+2+4+6
+
+    def test_do_while_runs_once(self):
+        assert expr_main("int n = 0; do { n++; } while (0); return n;") == 1
+
+    def test_switch_with_fallthrough(self):
+        source = (
+            "int f(int x) { int r = 0; switch (x) {"
+            " case 1: r = 10; break;"
+            " case 2: r = 20;"
+            " case 3: r += 5; break;"
+            " default: r = 99; } return r; }"
+            "int main(int argc, char **argv) {"
+            " return f(1) + f(2) + f(3) + f(9); }"
+        )
+        assert run_main(source) == 10 + 25 + 5 + 99
+
+    def test_short_circuit_and(self):
+        # The RHS would trap (div by zero) if evaluated.
+        assert expr_main("int z = 0; if (z && 1 / z) { return 1; } return 2;") == 2
+
+    def test_short_circuit_or(self):
+        assert expr_main("int z = 0; if (1 || 1 / z) { return 3; } return 4;") == 3
+
+    def test_ternary(self):
+        assert expr_main("int x = 5; return x > 3 ? x * 2 : x;") == 10
+
+    def test_nested_loops(self):
+        assert expr_main(
+            "int s = 0;"
+            "for (int i = 0; i < 3; i++)"
+            "  for (int j = 0; j < 3; j++)"
+            "    if (i == j) s += i;"
+            "return s;"
+        ) == 3
+
+
+class TestPointersAndArrays:
+    def test_array_indexing(self):
+        assert expr_main(
+            "int a[4]; for (int i = 0; i < 4; i++) a[i] = i * i;"
+            "return a[3];"
+        ) == 9
+
+    def test_pointer_arithmetic(self):
+        assert expr_main(
+            "int a[4]; a[2] = 42; int *p = a; p = p + 2; return *p;"
+        ) == 42
+
+    def test_address_of_and_deref(self):
+        assert expr_main("int x = 7; int *p = &x; *p = 9; return x;") == 9
+
+    def test_pointer_difference(self):
+        assert expr_main(
+            "int a[8]; int *p = &a[6]; int *q = &a[1]; return (int)(p - q);"
+        ) == 5
+
+    def test_char_buffer_with_string_init(self):
+        assert expr_main(
+            'char buf[8] = "abc"; return buf[0] + buf[3];'
+        ) == ord("a")  # NUL padding after the literal
+
+    def test_string_literal_functions(self):
+        assert expr_main('return (int)strlen("hello");') == 5
+
+    def test_pointer_increment(self):
+        assert expr_main(
+            "char s[4] = \"xyz\"; char *p = s; p++; return *p;"
+        ) == ord("y")
+
+    def test_null_comparison(self):
+        assert expr_main(
+            "char *p = NULL; if (!p) { return 5; } return 6;"
+        ) == 5
+
+
+class TestStructs:
+    SOURCE = """
+    struct Point { int x; int y; };
+    struct Node { int value; struct Node *next; };
+
+    int main(int argc, char **argv) {
+        struct Point p;
+        p.x = 3;
+        p.y = 4;
+        struct Node a, b;
+        a.value = 10;
+        a.next = &b;
+        b.value = 20;
+        b.next = NULL;
+        return p.x * p.y + a.next->value;
+    }
+    """
+
+    def test_struct_fields_and_arrow(self):
+        assert run_main(self.SOURCE) == 32
+
+    def test_struct_in_global(self):
+        source = """
+        struct S { int a; char pad[4]; long b; };
+        struct S g;
+        int main(int argc, char **argv) {
+            g.a = 1; g.b = 41;
+            return g.a + (int)g.b;
+        }
+        """
+        assert run_main(source) == 42
+
+    def test_sizeof_struct(self):
+        source = """
+        struct S { char c; long b; };
+        int main(int argc, char **argv) { return (int)sizeof(struct S); }
+        """
+        assert run_main(source) == 16
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main(int argc, char **argv) { return fib(10); }
+        """
+        assert run_main(source) == 55
+
+    def test_forward_reference(self):
+        source = """
+        int helper(int x);
+        int main(int argc, char **argv) { return helper(20); }
+        int helper(int x) { return x * 2; }
+        """
+        assert run_main(source) == 40
+
+    def test_void_function(self):
+        source = """
+        int counter;
+        void bump() { counter += 3; }
+        int main(int argc, char **argv) { bump(); bump(); return counter; }
+        """
+        assert run_main(source) == 6
+
+    def test_implicit_return_zero(self):
+        assert run_main("int main(int argc, char **argv) { int x = 1; }") == 0
+
+    def test_argv_access(self):
+        source = """
+        int main(int argc, char **argv) {
+            return argc * 100 + (int)strlen(argv[1]);
+        }
+        """
+        assert run_main(source, ["prog", "abc"]) == 203
+
+
+class TestGlobals:
+    def test_global_init_and_mutation(self):
+        source = """
+        int counter = 5;
+        int table[4];
+        int main(int argc, char **argv) {
+            table[1] = counter;
+            counter = 7;
+            return table[1] + counter;
+        }
+        """
+        assert run_main(source) == 12
+
+    def test_const_global_is_readonly_data(self):
+        module = compile_c("const int K = 9; int main(int a, char **v) { return K; }", "t")
+        assert module.get_global("K").is_constant
+        assert module.get_global("K").section == ".rodata"
+
+
+class TestLibcIntegration:
+    def test_malloc_free_roundtrip(self):
+        assert expr_main(
+            "int *p = (int*)malloc(16); p[1] = 11; int v = p[1];"
+            "free((char*)p); return v;"
+        ) == 11
+
+    def test_file_io(self):
+        source = """
+        int main(int argc, char **argv) {
+            char buf[16];
+            char *f = fopen(argv[1], "r");
+            if (!f) return -1;
+            long n = fread(buf, 1, 16, f);
+            fclose(f);
+            return (int)n * 10 + buf[0] - '0';
+        }
+        """
+        result = run_main(source, ["prog", "/in"], files={"/in": b"7abc"})
+        assert result == 47
+
+    def test_exit_propagates(self):
+        with pytest.raises(ProcessExit) as info:
+            run_main("int main(int argc, char **argv) { exit(3); return 0; }")
+        assert info.value.code == 3
+
+    def test_memcmp_and_strcmp(self):
+        assert expr_main(
+            'return memcmp("abc", "abd", 2) == 0 && strcmp("x", "x") == 0 ? 1 : 0;'
+        ) == 1
+
+
+class TestTraps:
+    def test_division_by_zero_traps(self):
+        with pytest.raises(VMTrap) as info:
+            expr_main("int z = argc - 1; return 5 / z;")
+        assert info.value.kind is TrapKind.DIV_BY_ZERO
+
+    def test_null_write_traps(self):
+        with pytest.raises(VMTrap) as info:
+            expr_main("int *p = NULL; *p = 1; return 0;")
+        assert info.value.kind is TrapKind.NULL_DEREF
+
+
+class TestSemanticErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            compile_c("int main(int a, char **v) { return missing; }", "t")
+
+    def test_unknown_struct(self):
+        with pytest.raises(SemanticError, match="unknown struct"):
+            compile_c("struct Nope *p; int main(int a, char **v) { return 0; }", "t")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError, match="arguments"):
+            compile_c(
+                "int f(int x) { return x; }"
+                "int main(int a, char **v) { return f(); }", "t"
+            )
+
+    def test_undeclared_function(self):
+        with pytest.raises(SemanticError, match="undeclared function"):
+            compile_c("int main(int a, char **v) { return nope(); }", "t")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            compile_c("int main(int a, char **v) { break; return 0; }", "t")

@@ -1,0 +1,229 @@
+"""MiniC edge cases beyond the main conformance suite: unsigned types,
+comma operator, every compound assignment, nested control flow, array
+parameters, and scoping subtleties."""
+
+import pytest
+
+from repro.minic import compile_c
+from repro.minic.errors import SemanticError
+from repro.vm import VM
+
+
+def run_main(source: str) -> int:
+    module = compile_c(source, "edge")
+    vm = VM(module)
+    vm.load()
+    argc, argv = vm.setup_argv(["edge"])
+    return vm.run_function(module.get_function("main"), [argc, argv])
+
+
+def expr_main(body: str) -> int:
+    return run_main("int main(int argc, char **argv) { " + body + " }")
+
+
+class TestUnsignedTypes:
+    def test_unsigned_int_division(self):
+        assert expr_main(
+            "unsigned int a = 0xFFFFFFFE; unsigned int b = a / 2;"
+            "return b == 0x7FFFFFFF ? 1 : 0;"
+        ) == 1
+
+    def test_unsigned_comparison(self):
+        assert expr_main(
+            "unsigned int a = 0xFFFFFFFF; return a > 5 ? 1 : 0;"
+        ) == 1
+
+    def test_signed_comparison_contrast(self):
+        assert expr_main(
+            "int a = (int)0xFFFFFFFF; return a > 5 ? 1 : 0;"
+        ) == 0
+
+    def test_unsigned_shift(self):
+        assert expr_main(
+            "unsigned int a = 0x80000000; return (int)(a >> 31);"
+        ) == 1
+
+    def test_signed_shift_contrast(self):
+        assert expr_main(
+            "int a = (int)0x80000000; return (a >> 31) & 0xFF;"
+        ) == 0xFF
+
+    def test_bare_unsigned_is_unsigned_int(self):
+        assert expr_main(
+            "unsigned a = 7; return (int)(a + 1);"
+        ) == 8
+
+    def test_unsigned_long(self):
+        assert expr_main(
+            "unsigned long a = 0xFFFFFFFFFFFFFFFF; return a > 100 ? 1 : 0;"
+        ) == 1
+
+
+class TestCompoundAssignments:
+    @pytest.mark.parametrize(
+        "op,start,operand,expected",
+        [
+            ("+=", 10, 3, 13),
+            ("-=", 10, 3, 7),
+            ("*=", 10, 3, 30),
+            ("/=", 10, 3, 3),
+            ("%=", 10, 3, 1),
+            ("&=", 12, 10, 8),
+            ("|=", 12, 3, 15),
+            ("^=", 12, 10, 6),
+            ("<<=", 3, 2, 12),
+            (">>=", 12, 2, 3),
+        ],
+    )
+    def test_all_ops(self, op, start, operand, expected):
+        assert expr_main(
+            f"int a = {start}; a {op} {operand}; return a;"
+        ) == expected
+
+    def test_compound_on_array_element(self):
+        assert expr_main(
+            "int a[3]; a[1] = 5; a[1] += 10; return a[1];"
+        ) == 15
+
+    def test_compound_on_struct_field(self):
+        assert run_main(
+            "struct S { int v; };"
+            "int main(int argc, char **argv) {"
+            " struct S s; s.v = 2; s.v *= 21; return s.v; }"
+        ) == 42
+
+    def test_compound_evaluates_lvalue_once(self):
+        # If the index expression re-evaluated, i would advance twice.
+        assert expr_main(
+            "int a[4]; int i = 0;"
+            "a[0] = 1; a[1] = 100;"
+            "a[i++] += 5;"
+            "return a[0] * 1000 + a[1] + i;"
+        ) == 6101
+
+
+class TestCommaAndSequencing:
+    def test_comma_operator(self):
+        assert expr_main("int a = (1, 2, 3); return a;") == 3
+
+    def test_comma_in_for_step(self):
+        assert expr_main(
+            "int s = 0; int j = 0;"
+            "for (int i = 0; i < 3; i++, j += 2) { s += j; }"
+            "return s;"
+        ) == 6
+
+    def test_assignment_expression_value(self):
+        assert expr_main("int a; int b = (a = 7) + 1; return a + b;") == 15
+
+
+class TestScoping:
+    def test_inner_scope_shadows(self):
+        assert expr_main(
+            "int x = 1; { int x = 2; x = 3; } return x;"
+        ) == 1
+
+    def test_for_loop_variable_scoped(self):
+        assert expr_main(
+            "int i = 100; for (int i = 0; i < 3; i++) { } return i;"
+        ) == 100
+
+    def test_global_shadowed_by_local(self):
+        assert run_main(
+            "int g = 5;"
+            "int main(int argc, char **argv) { int g = 9; return g; }"
+        ) == 9
+
+
+class TestPointerEdgeCases:
+    def test_pointer_to_pointer(self):
+        assert expr_main(
+            "int x = 3; int *p = &x; int **pp = &p; **pp = 8; return x;"
+        ) == 8
+
+    def test_negative_index(self):
+        assert expr_main(
+            "int a[4]; a[1] = 77; int *p = &a[2]; return p[-1];"
+        ) == 77
+
+    def test_pointer_decrement(self):
+        assert expr_main(
+            "char s[4] = \"abc\"; char *p = &s[2]; p--; return *p;"
+        ) == ord("b")
+
+    def test_void_pointer_roundtrip(self):
+        assert expr_main(
+            "int x = 6; void *v = (void*)&x; int *p = (int*)v; return *p * 7;"
+        ) == 42
+
+    def test_array_of_struct_pointers_via_malloc(self):
+        assert run_main(
+            "struct N { int v; };"
+            "int main(int argc, char **argv) {"
+            "  struct N *nodes = (struct N*)malloc(sizeof(struct N) * 4);"
+            "  for (int i = 0; i < 4; i++) { nodes[i].v = i * i; }"
+            "  int total = 0;"
+            "  for (int i = 0; i < 4; i++) { total += nodes[i].v; }"
+            "  free((char*)nodes);"
+            "  return total; }"
+        ) == 14
+
+
+class TestControlFlowEdges:
+    def test_break_in_switch_inside_loop(self):
+        assert expr_main(
+            "int s = 0;"
+            "for (int i = 0; i < 4; i++) {"
+            "  switch (i) { case 2: s += 100; break; default: s += 1; }"
+            "}"
+            "return s;"
+        ) == 103
+
+    def test_continue_skips_switch(self):
+        assert expr_main(
+            "int s = 0;"
+            "for (int i = 0; i < 4; i++) {"
+            "  if (i == 1) continue;"
+            "  s += i;"
+            "}"
+            "return s;"
+        ) == 5
+
+    def test_nested_while_break_only_inner(self):
+        assert expr_main(
+            "int n = 0;"
+            "int i = 0;"
+            "while (i < 3) {"
+            "  int j = 0;"
+            "  while (1) { j++; if (j == 2) break; }"
+            "  n += j; i++;"
+            "}"
+            "return n;"
+        ) == 6
+
+    def test_dead_code_after_return_dropped(self):
+        assert expr_main("return 4; return 9;") == 4
+
+    def test_empty_switch(self):
+        assert expr_main("switch (argc) { } return 3;") == 3
+
+
+class TestDeviationsAreEnforced:
+    def test_pointer_global_init_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_c('char *msg = "hi"; int main(int a, char **v) { return 0; }',
+                      "t")
+
+    def test_string_into_non_char_array_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_c('int x[4] = "abc"; int main(int a, char **v) { return 0; }',
+                      "t")
+
+    def test_whole_struct_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_c(
+                "struct S { int v; };"
+                "int main(int a, char **v) {"
+                " struct S x; struct S y; x.v = 1; y = x; return y.v; }",
+                "t",
+            )

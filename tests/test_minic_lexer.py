@@ -1,0 +1,116 @@
+"""Unit tests for the MiniC tokenizer."""
+
+import pytest
+
+from repro.minic.errors import LexError
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo_bar2 while")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[1].text == "foo_bar2"
+        assert tokens[2].is_keyword("while")
+
+    def test_punctuator_maximal_munch(self):
+        assert texts("a >>= b >> c > d") == ["a", ">>=", "b", ">>", "c", ">", "d"]
+        assert texts("x->y") == ["x", "->", "y"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+        assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert tokenize("12345")[0].value == 12345
+
+    def test_hex(self):
+        assert tokenize("0xDEADbeef")[0].value == 0xDEADBEEF
+
+    def test_suffixes_ignored(self):
+        assert tokenize("7UL")[0].value == 7
+        assert tokenize("0x10L")[0].value == 16
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestCharLiterals:
+    def test_plain(self):
+        assert tokenize("'A'")[0].value == 65
+
+    def test_escapes(self):
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\\'")[0].value == 92
+        assert tokenize(r"'\x7f'")[0].value == 0x7F
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestStringLiterals:
+    def test_plain(self):
+        assert tokenize('"hello"')[0].string == b"hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\tb\x41"')[0].string == b"a\tbA"
+
+    def test_adjacent_concatenation(self):
+        assert tokenize('"foo" "bar"')[0].string == b"foobar"
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestTriviaAndConstants:
+    def test_line_comments(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comments(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_predefined_constants(self):
+        tokens = tokenize("NULL EOF SEEK_END")
+        assert tokens[0].kind is TokenKind.INT_LIT and tokens[0].value == 0
+        assert tokens[1].value == -1
+        assert tokens[2].value == 2
+
+    def test_is_punct_helper(self):
+        token = tokenize(";")[0]
+        assert token.is_punct(";")
+        assert not token.is_punct(",")
+        assert not token.is_keyword(";")

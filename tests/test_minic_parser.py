@@ -1,0 +1,167 @@
+"""Unit tests for the MiniC parser and constant folder."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.errors import ParseError
+from repro.minic.parser import fold_const, parse
+
+
+class TestTopLevel:
+    def test_global_declarations(self):
+        unit = parse("int a; long b = 5; const char MAGIC[4] = \"GIF\";")
+        assert [g.name for g in unit.globals] == ["a", "b", "MAGIC"]
+        assert unit.globals[2].const
+        assert isinstance(unit.globals[2].type, ast.ArrayOf)
+
+    def test_multi_declarator_globals(self):
+        unit = parse("int a, b, c;")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_struct_declaration(self):
+        unit = parse("struct P { int x; int y; char name[8]; };")
+        struct = unit.structs[0]
+        assert struct.name == "P"
+        assert [f[0] for f in struct.fields] == ["x", "y", "name"]
+
+    def test_function_definition_and_declaration(self):
+        unit = parse("int f(int a, char *b); int g(void) { return 0; }")
+        assert unit.functions[0].body is None
+        assert unit.functions[1].body is not None
+        assert unit.functions[1].params == []
+
+    def test_array_param_decays(self):
+        unit = parse("int f(char buf[16]) { return 0; }")
+        assert isinstance(unit.functions[0].params[0].type, ast.PointerTo)
+
+    def test_aggregate_initializer_rejected(self):
+        with pytest.raises(ParseError, match="aggregate"):
+            parse("int a[2] = {1, 2};")
+
+
+class TestStatements:
+    def _body(self, code):
+        return parse(f"void f() {{ {code} }}").functions[0].body.statements
+
+    def test_if_else_chain(self):
+        (stmt,) = self._body("if (1) return; else if (2) return; else return;")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body, ast.If)
+
+    def test_while_and_do_while(self):
+        stmts = self._body("while (1) break; do continue; while (0);")
+        assert isinstance(stmts[0], ast.While)
+        assert isinstance(stmts[1], ast.DoWhile)
+
+    def test_for_with_decl(self):
+        (stmt,) = self._body("for (int i = 0; i < 4; i++) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = self._body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch_cases_and_default(self):
+        (stmt,) = self._body(
+            "switch (x) { case 1: case 2: break; default: break; }"
+        )
+        assert isinstance(stmt, ast.Switch)
+        assert stmt.cases[0].values == [1, 2]
+        assert stmt.cases[1].values == []
+
+    def test_multi_var_decl_becomes_group(self):
+        (stmt,) = self._body("int a = 1, b = 2;")
+        assert isinstance(stmt, ast.DeclGroup)
+        assert len(stmt.decls) == 2
+
+
+class TestExpressions:
+    def _expr(self, code):
+        stmts = parse(f"void f() {{ {code}; }}").functions[0].body.statements
+        return stmts[0].expr
+
+    def test_precedence(self):
+        expr = self._expr("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_shift_binds_looser_than_add(self):
+        expr = self._expr("a << b + c")
+        assert expr.op == "<<"
+
+    def test_assignment_right_associative(self):
+        expr = self._expr("a = b = 1")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = self._expr("a += 2")
+        assert isinstance(expr, ast.Assign) and expr.op == "+"
+
+    def test_ternary(self):
+        expr = self._expr("a ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_cast_vs_parenthesised_expr(self):
+        cast = self._expr("(int)x")
+        assert isinstance(cast, ast.CastExpr)
+        paren = self._expr("(x)")
+        assert isinstance(paren, ast.Ident)
+
+    def test_postfix_chain(self):
+        expr = self._expr("a.b[1]->c")
+        assert isinstance(expr, ast.Member) and expr.arrow
+        assert isinstance(expr.base, ast.Index)
+        assert isinstance(expr.base.base, ast.Member)
+
+    def test_call_with_args(self):
+        expr = self._expr("f(1, g(2), x)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_sizeof(self):
+        expr = self._expr("sizeof(long)")
+        assert isinstance(expr, ast.SizeOf)
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~", "*", "&", "++", "--"):
+            expr = self._expr(f"{op}x")
+            assert isinstance(expr, ast.Unary) and expr.op == op
+
+    def test_postincrement(self):
+        expr = self._expr("x++")
+        assert isinstance(expr, ast.Postfix)
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int ; }")
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 << 4) | 1", 17),
+            ("~0 & 0xff", 255),
+            ("-5 + 2", -3),
+            ("!0", 1),
+            ("100 / 7", 14),
+        ],
+    )
+    def test_folds(self, source, expected):
+        unit = parse(f"int g[{source}];")
+        spec = unit.globals[0].type
+        assert isinstance(spec, ast.ArrayOf)
+        assert spec.count == expected
+
+    def test_non_constant_rejected_in_array_size(self):
+        with pytest.raises(ParseError, match="constant"):
+            parse("int g[x];")
+
+    def test_fold_const_returns_none_for_ident(self):
+        unit = parse("void f() { x; }")
+        expr = unit.functions[0].body.statements[0].expr
+        assert fold_const(expr) is None

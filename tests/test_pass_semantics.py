@@ -1,0 +1,87 @@
+"""Semantics-preservation tests for the pass pipelines beyond the
+target-level differential suite: each pass individually must not change
+what the program computes, only how its state is managed."""
+
+import pytest
+
+from repro.minic import compile_c
+from repro.passes import (
+    CoveragePass,
+    GlobalPass,
+    PassManager,
+    RenameMainPass,
+)
+from repro.vm import VM
+
+PROGRAM = """
+int acc;
+int lut[8];
+
+int work(int x) {
+    lut[x & 7] = x * 3;
+    acc += lut[x & 7];
+    return acc;
+}
+
+int main(int argc, char **argv) {
+    int total = 0;
+    for (int i = 1; i <= 6; i++) { total = work(i * argc); }
+    return total;
+}
+"""
+
+
+def run_entry(module, entry, argc=2):
+    vm = VM(module)
+    vm.load()
+    _argc, argv = vm.setup_argv(["p", "x"])
+    return vm.run_function(module.get_function(entry), [argc, argv])
+
+
+class TestBehaviourPreservation:
+    def test_rename_main_preserves_result(self):
+        plain = compile_c(PROGRAM, "p")
+        renamed = compile_c(PROGRAM, "p")
+        RenameMainPass().run(renamed)
+        assert run_entry(plain, "main") == run_entry(renamed, "target_main")
+
+    def test_global_pass_preserves_result_and_initials(self):
+        plain = compile_c(PROGRAM, "p")
+        moved = compile_c(PROGRAM, "p")
+        GlobalPass().run(moved)
+        assert run_entry(plain, "main") == run_entry(moved, "main")
+        # initial images identical even though sections moved
+        vm = VM(moved)
+        vm.load()
+        assert vm.section_bytes("closure_global_section") == bytes(
+            4 + 32
+        )  # acc + lut, both zero-initialised
+
+    def test_coverage_pass_preserves_result(self):
+        plain = compile_c(PROGRAM, "p")
+        instrumented = compile_c(PROGRAM, "p")
+        CoveragePass(seed=3).run(instrumented)
+        assert run_entry(plain, "main") == run_entry(instrumented, "main")
+
+    def test_coverage_pass_only_adds_guard_calls(self):
+        plain = compile_c(PROGRAM, "p")
+        instrumented = compile_c(PROGRAM, "p")
+        CoveragePass(seed=3).run(instrumented)
+        plain_count = plain.instruction_count()
+        blocks = sum(len(f.blocks) for f in instrumented.defined_functions())
+        assert instrumented.instruction_count() == plain_count + blocks
+
+    def test_instrumented_costs_more_but_computes_the_same(self):
+        plain = compile_c(PROGRAM, "p")
+        instrumented = compile_c(PROGRAM, "p")
+        CoveragePass(seed=3).run(instrumented)
+        vm_a, vm_b = VM(plain), VM(instrumented)
+        vm_a.load(), vm_b.load()
+        argc_a, argv_a = vm_a.setup_argv(["p"])
+        argc_b, argv_b = vm_b.setup_argv(["p"])
+        result_a = vm_a.run_function(plain.get_function("main"), [2, argv_a])
+        result_b = vm_b.run_function(instrumented.get_function("main"), [2, argv_b])
+        assert result_a == result_b
+        assert vm_b.cost > vm_a.cost          # instrumentation is not free
+        assert sum(1 for x in vm_b.coverage_map if x) > 0
+        assert sum(vm_a.coverage_map) == 0    # uninstrumented records nothing

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) over the core data structures.
+
+These check the invariants the rest of the system silently relies on:
+integer semantics, struct layout, the allocator, the address space,
+coverage classification, mutator bounds, and — most valuable — that
+MiniC constant expressions evaluate identically in the Python constant
+folder and in the compiled-and-interpreted program.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzing.coverage import classify
+from repro.fuzzing.mutators import HavocMutator
+from repro.ir.types import IntType, StructType, int_type
+from repro.vm.errors import CrashSite, VMTrap
+from repro.vm.heap import Heap
+from repro.vm.memory import AddressSpace
+from repro.vm.interpreter import COVERAGE_MAP_SIZE
+
+SITE = CrashSite("prop", "prop")
+
+int_widths = st.sampled_from([8, 16, 32, 64])
+
+
+class TestIntSemantics:
+    @given(int_widths, st.integers())
+    def test_wrap_is_idempotent(self, bits, value):
+        type_ = int_type(bits)
+        assert type_.wrap(type_.wrap(value)) == type_.wrap(value)
+
+    @given(int_widths, st.integers())
+    def test_wrap_range(self, bits, value):
+        type_ = int_type(bits)
+        assert 0 <= type_.wrap(value) <= type_.unsigned_max
+
+    @given(int_widths, st.integers())
+    def test_signed_roundtrip(self, bits, value):
+        type_ = int_type(bits)
+        wrapped = type_.wrap(value)
+        assert type_.wrap(type_.to_signed(wrapped)) == wrapped
+
+    @given(int_widths, st.integers())
+    def test_signed_range(self, bits, value):
+        type_ = int_type(bits)
+        signed = type_.to_signed(type_.wrap(value))
+        assert type_.signed_min <= signed <= type_.signed_max
+
+
+class TestStructLayout:
+    field_types = st.sampled_from([int_type(8), int_type(16), int_type(32),
+                                   int_type(64)])
+
+    @given(st.lists(field_types, min_size=1, max_size=10))
+    def test_fields_do_not_overlap_and_are_aligned(self, types):
+        struct = StructType("p", [(f"f{i}", t) for i, t in enumerate(types)])
+        previous_end = 0
+        for i, field_type in enumerate(types):
+            offset = struct.field_offset(i)
+            assert offset >= previous_end
+            assert offset % field_type.alignment() == 0
+            previous_end = offset + field_type.size()
+        assert struct.size() >= previous_end
+        assert struct.size() % struct.alignment() == 0
+
+
+class TestHeapInvariants:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 512)),
+                    min_size=1, max_size=60))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_random_alloc_free_sequences(self, operations):
+        heap = Heap(AddressSpace(), budget_bytes=1 << 22)
+        live: list[int] = []
+        for do_free, size in operations:
+            if do_free and live:
+                heap.free(live.pop(), SITE)
+            else:
+                address = heap.malloc(size, SITE)
+                assert address != 0
+                live.append(address)
+        # live accounting matches
+        assert heap.live_chunk_count() == len(live)
+        # all live chunks remain readable at their full size
+        for address in live:
+            size = heap.chunk_size(address)
+            assert size is not None
+            heap.space.read(address, size, SITE)
+        # and all distinct
+        assert len(set(live)) == len(live)
+
+    @given(st.lists(st.integers(1, 128), min_size=2, max_size=40))
+    @settings(deadline=None)
+    def test_chunks_never_overlap(self, sizes):
+        heap = Heap(AddressSpace(), budget_bytes=1 << 22)
+        spans = []
+        for size in sizes:
+            address = heap.malloc(size, SITE)
+            spans.append((address, address + size))
+        spans.sort()
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+
+class TestCoverageClassification:
+    @given(st.binary(min_size=1, max_size=256))
+    @settings(max_examples=50, deadline=None)
+    def test_classify_preserves_zeroness(self, raw):
+        classified = classify(raw)
+        for i in range(len(raw)):
+            assert (classified[i] == 0) == (raw[i] == 0)
+
+    @given(st.integers(0, 255))
+    def test_buckets_are_powers_of_two(self, count):
+        value = int(classify(bytes([count]) + bytes(COVERAGE_MAP_SIZE - 1))[0])
+        if count == 0:
+            assert value == 0
+        else:
+            assert value in (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class TestMutatorBounds:
+    @given(st.binary(min_size=0, max_size=300), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_havoc_respects_max_size(self, data, seed):
+        havoc = HavocMutator(random.Random(seed), max_size=256)
+        out = havoc.mutate(data)
+        assert 1 <= len(out) <= 256
+
+    @given(st.binary(min_size=1, max_size=100), st.binary(min_size=1, max_size=100),
+           st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_splice_bounded(self, first, second, seed):
+        havoc = HavocMutator(random.Random(seed), max_size=256)
+        assert len(havoc.splice(first, second)) <= 256
+
+
+class TestConstExprConformance:
+    """MiniC differential testing: the parser's constant folder and the
+    compiled program must agree on every constant expression."""
+
+    @st.composite
+    def const_expr(draw, depth=0):
+        if depth > 3 or draw(st.booleans()):
+            return str(draw(st.integers(0, 1000)))
+        op = draw(st.sampled_from(["+", "-", "*", "|", "&", "^"]))
+        lhs = draw(TestConstExprConformance.const_expr(depth + 1))
+        rhs = draw(TestConstExprConformance.const_expr(depth + 1))
+        return f"({lhs} {op} {rhs})"
+
+    @given(const_expr())
+    @settings(max_examples=40, deadline=None)
+    def test_folder_matches_interpreter(self, expr):
+        from repro.minic import compile_c
+        from repro.minic.parser import parse, fold_const
+        from repro.vm import VM
+
+        unit = parse(f"void f() {{ {expr}; }}")
+        folded = fold_const(unit.functions[0].body.statements[0].expr)
+        assert folded is not None
+
+        module = compile_c(
+            f"long main(int argc, char **argv) {{ return {expr}; }}", "prop"
+        )
+        vm = VM(module)
+        vm.load()
+        argc, argv = vm.setup_argv(["p"])
+        result = vm.run_function(module.get_function("main"), [argc, argv])
+        # The program computes in i32 (wrapping); the folder in unbounded
+        # ints.  All ops used (+ - * & | ^) commute with mod 2^32, so the
+        # results must agree modulo 2^32.
+        assert result % (1 << 32) == folded % (1 << 32)
+
+
+class TestAddressSpaceInvariants:
+    @given(st.lists(st.integers(1, 256), min_size=1, max_size=30))
+    @settings(deadline=None)
+    def test_lookup_finds_exactly_the_owner(self, sizes):
+        space = AddressSpace()
+        regions = [
+            space.map_region(space.heap_segment, size, True, "heap", str(i))
+            for i, size in enumerate(sizes)
+        ]
+        for region in regions:
+            assert space.find_region(region.base) is region
+            assert space.find_region(region.limit - 1) is region

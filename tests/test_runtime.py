@@ -1,0 +1,253 @@
+"""Unit tests for the ClosureX runtime: chunk map, FD tracker, global
+snapshot, and the harness loop."""
+
+import pytest
+
+from repro.minic import compile_c
+from repro.passes import PassManager, closurex_passes
+from repro.runtime import (
+    ChunkMap,
+    ClosureXHarness,
+    FDTracker,
+    GlobalSectionSnapshot,
+    HarnessConfig,
+    IterationStatus,
+)
+from repro.vm import TrapKind
+
+TARGET_SOURCE = r"""
+int counter;
+int mode;
+char name[16];
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    char buf[32];
+    long n = fread(buf, 1, 32, f);
+    counter++;
+    if (n < 1) { exit(2); }                 /* leaks f */
+    char *keep = (char*)malloc(24);
+    keep[0] = buf[0];
+    if (buf[0] == 'M') { mode = 5; }
+    if (buf[0] == 'X') {
+        int *p = NULL;
+        *p = 1;
+    }
+    if (buf[0] == 'R') { return 9; }        /* leaks keep and f */
+    fclose(f);
+    free(keep);
+    return 0;
+}
+"""
+
+
+def build_harness(config: HarnessConfig | None = None) -> ClosureXHarness:
+    module = compile_c(TARGET_SOURCE, "runtime-test")
+    PassManager(closurex_passes(3)).run(module)
+    harness = ClosureXHarness(module, config=config)
+    harness.boot()
+    return harness
+
+
+class TestChunkMap:
+    def test_record_and_remove(self):
+        cmap = ChunkMap()
+        cmap.record(0x1000, 64)
+        assert 0x1000 in cmap
+        assert cmap.remove(0x1000)
+        assert not cmap.remove(0x1000)
+        assert cmap.total_freed_by_target == 1
+
+    def test_null_not_recorded(self):
+        cmap = ChunkMap()
+        cmap.record(0, 64)
+        assert len(cmap) == 0
+
+    def test_sweep_skips_init_chunks(self):
+        cmap = ChunkMap()
+        cmap.record(0x1000, 8, init=True)
+        cmap.record(0x2000, 16)
+        swept = cmap.sweep()
+        assert [c.address for c in swept] == [0x2000]
+        assert 0x1000 in cmap
+        assert cmap.total_swept == 1
+
+    def test_mark_all_init(self):
+        cmap = ChunkMap()
+        cmap.record(0x1000, 8)
+        assert cmap.mark_all_init() == 1
+        assert cmap.leaked() == []
+        assert cmap.live_count(include_init=False) == 0
+
+
+class TestFDTracker:
+    def test_sweep_separates_init_handles(self):
+        tracker = FDTracker()
+        tracker.record(10, "/init", init=True)
+        tracker.record(20, "/leaked")
+        to_close, to_rewind = tracker.sweep()
+        assert [h.handle for h in to_close] == [20]
+        assert [h.handle for h in to_rewind] == [10]
+        assert tracker.open_count() == 1  # init handle kept
+
+    def test_remove(self):
+        tracker = FDTracker()
+        tracker.record(10, "/a")
+        assert tracker.remove(10)
+        assert not tracker.remove(10)
+
+
+class TestHarnessLifecycle:
+    def test_boot_snapshots_global_section(self):
+        harness = build_harness()
+        assert harness.snapshot is not None
+        assert harness.snapshot.size > 0
+        assert len(harness.snapshot.buffer) == harness.snapshot.size
+
+    def test_normal_return(self):
+        harness = build_harness()
+        result = harness.run_test_case(b"hello")
+        assert result.status is IterationStatus.OK
+        assert result.return_code == 0
+        assert result.restore is not None
+
+    def test_exit_longjmps_back(self):
+        harness = build_harness()
+        result = harness.run_test_case(b"")
+        assert result.status is IterationStatus.EXIT
+        assert result.return_code == 2
+        # the loop survives:
+        again = harness.run_test_case(b"hello")
+        assert again.status is IterationStatus.OK
+
+    def test_crash_reported(self):
+        harness = build_harness()
+        result = harness.run_test_case(b"X boom")
+        assert result.status is IterationStatus.CRASH
+        assert result.trap is not None
+        assert result.trap.kind is TrapKind.NULL_DEREF
+        assert not result.status.survivable
+
+    def test_globals_restored(self):
+        harness = build_harness()
+        vm = harness.vm
+        mode_addr = vm.global_addr("mode")
+        harness.run_test_case(b"M set mode")
+        assert vm.memory.read_int(mode_addr, 4, vm.site) == 0  # restored
+
+    def test_leaked_chunks_swept(self):
+        harness = build_harness()
+        result = harness.run_test_case(b"R leak")
+        assert result.status is IterationStatus.OK
+        assert result.return_code == 9
+        assert result.restore.leaked_chunks == 1
+        assert result.restore.leaked_bytes == 24
+        assert result.restore.closed_fds == 1
+        assert harness.vm.heap.live_chunk_count() == 0
+        assert harness.vm.fd_table.open_handle_count() == 0
+
+    def test_exit_path_leaks_fd_and_is_swept(self):
+        harness = build_harness()
+        result = harness.run_test_case(b"")
+        assert result.restore.closed_fds == 1
+
+    def test_many_iterations_stay_clean(self):
+        harness = build_harness()
+        inputs = [b"hello", b"", b"R leak", b"M mode", b"normal"] * 20
+        for data in inputs:
+            harness.run_test_case(data)
+        vm = harness.vm
+        assert vm.heap.live_chunk_count() == 0
+        assert vm.fd_table.open_handle_count() == 0
+        assert harness.iterations == 100
+
+    def test_restore_cost_charged(self):
+        harness = build_harness()
+        result = harness.run_test_case(b"R leak")
+        assert result.restore.restore_ns > 0
+        assert result.exec_ns > result.restore.restore_ns
+
+    def test_identical_inputs_same_instruction_count(self):
+        """Determinism: the restored process replays identically."""
+        harness = build_harness()
+        first = harness.run_test_case(b"hello world")
+        for _ in range(5):
+            harness.run_test_case(b"R different stuff")
+        second = harness.run_test_case(b"hello world")
+        assert first.instructions == second.instructions
+
+    def test_unbooted_harness_rejects_run(self):
+        module = compile_c(TARGET_SOURCE, "runtime-test")
+        PassManager(closurex_passes(3)).run(module)
+        harness = ClosureXHarness(module)
+        with pytest.raises(RuntimeError):
+            harness.run_test_case(b"x")
+
+    def test_uninstrumented_module_rejected(self):
+        module = compile_c(TARGET_SOURCE, "runtime-test")
+        with pytest.raises(ValueError, match="target_main"):
+            ClosureXHarness(module)
+
+
+class TestGlobalSectionSnapshot:
+    def test_dirty_offsets_and_restore(self):
+        harness = build_harness()
+        snapshot = harness.snapshot
+        harness.run_test_case(b"M dirty", restore=False)
+        assert snapshot.dirty_offsets()
+        copied = snapshot.restore()
+        assert copied == snapshot.size
+        assert snapshot.dirty_offsets() == []
+
+    def test_restore_before_capture_rejected(self):
+        harness = build_harness()
+        fresh = GlobalSectionSnapshot(harness.vm, "closure_global_section")
+        with pytest.raises(RuntimeError):
+            fresh.restore()
+
+
+class TestDeferredInit:
+    SOURCE = r"""
+    int table[8];
+    int initialized;
+
+    void build_tables() {
+        for (int i = 0; i < 8; i++) { table[i] = i * i; }
+        initialized = 1;
+    }
+
+    int main(int argc, char **argv) {
+        if (!initialized) { build_tables(); }
+        return table[3];
+    }
+    """
+
+    def _harness(self, deferred):
+        module = compile_c(self.SOURCE, "deferred-test")
+        PassManager(closurex_passes(3)).run(module)
+        config = HarnessConfig(
+            deferred_init_functions=("build_tables",) if deferred else ()
+        )
+        harness = ClosureXHarness(module, config=config)
+        harness.boot()
+        return harness
+
+    def test_deferred_init_runs_once_and_is_preserved(self):
+        harness = self._harness(deferred=True)
+        first = harness.run_test_case(b"x")
+        assert first.return_code == 9
+        # init ran before the snapshot, so 'initialized' stays set and
+        # the in-loop init is skipped on every iteration:
+        second = harness.run_test_case(b"x")
+        assert second.return_code == 9
+        assert second.instructions < first.instructions or (
+            second.instructions == first.instructions
+        )
+
+    def test_without_deferral_init_reruns_every_iteration(self):
+        deferred = self._harness(deferred=True)
+        plain = self._harness(deferred=False)
+        deferred_result = deferred.run_test_case(b"x")
+        plain_result = plain.run_test_case(b"x")
+        assert plain_result.instructions > deferred_result.instructions

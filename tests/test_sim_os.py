@@ -1,0 +1,121 @@
+"""Unit tests for the simulated kernel and cost model."""
+
+import pytest
+
+from repro.sim_os import (
+    DEFAULT_COSTS,
+    CostModel,
+    Kernel,
+    ProcessState,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_advances(self):
+        clock = VirtualClock()
+        clock.advance(500)
+        clock.advance(250)
+        assert clock.now_ns == 750
+        assert clock.now_seconds == 7.5e-7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestCostModel:
+    def test_spawn_scales_with_image(self):
+        small = DEFAULT_COSTS.spawn_cost(100_000)
+        large = DEFAULT_COSTS.spawn_cost(10_000_000)
+        assert large > small > DEFAULT_COSTS.spawn_base_ns
+
+    def test_fork_scales_with_footprint(self):
+        assert DEFAULT_COSTS.fork_cost(50 << 20) > DEFAULT_COSTS.fork_cost(1 << 20)
+
+    def test_cow_floor(self):
+        assert DEFAULT_COSTS.cow_cost(0) == (
+            DEFAULT_COSTS.cow_floor_pages * DEFAULT_COSTS.cow_fault_per_page_ns
+        )
+        big = DEFAULT_COSTS.cow_cost(100 * 4096)
+        assert big > DEFAULT_COSTS.cow_cost(0)
+
+    def test_restore_cost_components(self):
+        base = DEFAULT_COSTS.closurex_restore_cost(0, 0, 0, 0)
+        with_chunks = DEFAULT_COSTS.closurex_restore_cost(0, 5, 0, 0)
+        with_bytes = DEFAULT_COSTS.closurex_restore_cost(4096, 0, 0, 0)
+        with_fds = DEFAULT_COSTS.closurex_restore_cost(0, 0, 2, 1)
+        assert base == DEFAULT_COSTS.restore_base_ns
+        assert with_chunks == base + 5 * DEFAULT_COSTS.heap_sweep_per_chunk_ns
+        assert with_bytes > base
+        assert with_fds == (
+            base + 2 * DEFAULT_COSTS.fd_close_ns + DEFAULT_COSTS.fd_rewind_ns
+        )
+
+    def test_ordering_invariant(self):
+        """The execution-mechanism spectrum: spawn >> fork >> restore."""
+        spawn = DEFAULT_COSTS.spawn_cost(1_000_000)
+        fork = DEFAULT_COSTS.fork_cost(1_000_000) + DEFAULT_COSTS.teardown_child_ns
+        restore = DEFAULT_COSTS.closurex_restore_cost(2048, 4, 1, 1)
+        assert spawn > 5 * fork
+        assert fork > 5 * restore
+
+
+class TestKernel:
+    def test_spawn_registers_process(self):
+        kernel = Kernel()
+        record = kernel.spawn("prog", 1_000_000)
+        assert record.state is ProcessState.RUNNING
+        assert kernel.live_process_count() == 1
+        assert kernel.stats.spawns == 1
+        assert kernel.clock.now_ns == DEFAULT_COSTS.spawn_cost(1_000_000)
+
+    def test_fork_links_parent(self):
+        kernel = Kernel()
+        parent = kernel.spawn("prog", 1_000_000)
+        child = kernel.fork(parent, 2 << 20)
+        assert child.parent_pid == parent.pid
+        assert child.image == "prog"
+        assert kernel.stats.forks == 1
+
+    def test_reap_marks_exit(self):
+        kernel = Kernel()
+        record = kernel.spawn("prog", 1000)
+        kernel.reap(record, 0)
+        assert record.state is ProcessState.EXITED
+        assert record.exit_code == 0
+        assert kernel.live_process_count() == 0
+
+    def test_reap_crash(self):
+        kernel = Kernel()
+        record = kernel.spawn("prog", 1000)
+        kernel.reap(record, None, crashed=True)
+        assert record.state is ProcessState.CRASHED
+
+    def test_fresh_teardown_costs_more(self):
+        costs = CostModel()
+        kernel = Kernel(costs)
+        a = kernel.spawn("p", 1000)
+        before = kernel.clock.now_ns
+        kernel.reap(a, 0, fresh=True)
+        fresh_cost = kernel.clock.now_ns - before
+        b = kernel.spawn("p", 1000)
+        before = kernel.clock.now_ns
+        kernel.reap(b, 0)
+        child_cost = kernel.clock.now_ns - before
+        assert fresh_cost > child_cost
+
+    def test_stats_aggregation(self):
+        kernel = Kernel()
+        parent = kernel.spawn("p", 1000)
+        kernel.fork(parent, 4096)
+        kernel.charge_cow(8192)
+        assert kernel.stats.process_management_ns() == (
+            kernel.stats.spawn_ns + kernel.stats.fork_ns + kernel.stats.cow_ns
+        )
+        assert kernel.stats.cow_ns > 0
+
+    def test_unique_pids(self):
+        kernel = Kernel()
+        pids = {kernel.spawn("p", 1).pid for _ in range(10)}
+        assert len(pids) == 10

@@ -1,0 +1,102 @@
+"""Tests for the benchmark targets: registry integrity, build health,
+seed behaviour, and Table 4 consistency."""
+
+import pytest
+
+from repro.ir import verify_module
+from repro.passes.global_pass import CLOSURE_GLOBAL_SECTION
+from repro.passes.rename_main import TARGET_MAIN
+from repro.runtime.harness import IterationStatus
+from repro.targets import BENCHMARKS, all_targets, get_target, target_names
+from tests.helpers import run_fresh
+
+
+class TestRegistry:
+    def test_exactly_ten_targets(self):
+        assert len(all_targets()) == 10
+
+    def test_names_match_table4(self):
+        assert set(target_names()) == set(BENCHMARKS)
+
+    def test_table4_formats_and_sizes(self):
+        for spec in all_targets():
+            input_format, image_bytes = BENCHMARKS[spec.name]
+            assert spec.input_format == input_format
+            assert spec.image_bytes == image_bytes
+
+    def test_bug_manifest_matches_table7(self):
+        expected = {"c-blosc2": 4, "gpmf-parser": 6, "libbpf": 3, "md4c": 2}
+        for spec in all_targets():
+            assert len(spec.bugs) == expected.get(spec.name, 0)
+        total = sum(len(spec.bugs) for spec in all_targets())
+        assert total == 15  # the paper's fifteen 0-days
+
+    def test_bug_ids_unique(self):
+        ids = [b.bug_id for spec in all_targets() for b in spec.bugs]
+        assert len(ids) == len(set(ids))
+
+    def test_get_target_unknown(self):
+        with pytest.raises(KeyError):
+            get_target("nginx")
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+class TestBuilds:
+    def test_baseline_build_verifies(self, name):
+        module = get_target(name).build_baseline()
+        verify_module(module)
+        assert module.has_function("main")
+
+    def test_closurex_build_verifies(self, name):
+        module = get_target(name).build_closurex()
+        verify_module(module)
+        assert module.has_function(TARGET_MAIN)
+        assert not module.has_function("main")
+        assert module.globals_in_section(CLOSURE_GLOBAL_SECTION)
+
+    def test_persistent_build(self, name):
+        module = get_target(name).build_persistent()
+        assert module.has_function(TARGET_MAIN)
+        # exit must NOT be hooked in the naive persistent build
+        assert not module.has_function("closurex_exit_hook") or all(
+            inst.callee.name != "closurex_exit_hook"
+            for func in module.defined_functions()
+            for inst in func.instructions()
+            if hasattr(inst, "callee")
+        )
+
+    def test_static_edges_positive(self, name):
+        assert get_target(name).static_edge_count() > 20
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+class TestSeeds:
+    def test_has_multiple_seeds(self, name):
+        assert len(get_target(name).seeds) >= 3
+
+    def test_seeds_run_clean(self, name):
+        """Seeds must parse successfully — no crash, no early exit — or
+        coverage-guided fuzzing never gets past the format gates."""
+        spec = get_target(name)
+        for i, seed in enumerate(spec.seeds):
+            result = run_fresh(spec, seed)
+            assert result.status in (IterationStatus.OK, IterationStatus.EXIT), (
+                f"{name} seed {i}: {result.status} {result.trap}"
+            )
+            assert not result.is_crash, f"{name} seed {i} crashed: {result.trap}"
+
+    def test_seed_execution_cost_in_band(self, name):
+        """Per-exec cost must stay in the regime the Table 5 cost model
+        was calibrated for (it drives the speedup band)."""
+        spec = get_target(name)
+        for seed in spec.seeds:
+            result = run_fresh(spec, seed)
+            assert 100 <= result.instructions <= 25_000
+
+    def test_garbage_input_does_not_crash(self, name):
+        """Unstructured garbage should be rejected, not crash: the
+        planted bugs must require format-aware mutation."""
+        spec = get_target(name)
+        for junk in (b"", b"\x00" * 40, b"garbage!" * 10, b"\xff" * 64):
+            result = run_fresh(spec, junk)
+            assert not result.is_crash, f"{name} crashed on junk: {result.trap}"

@@ -1,0 +1,120 @@
+"""Unit tests for the checked heap allocator."""
+
+import pytest
+
+from repro.vm.errors import CrashSite, TrapKind, VMTrap
+from repro.vm.heap import Heap
+from repro.vm.memory import AddressSpace
+
+SITE = CrashSite("f", "b")
+
+
+@pytest.fixture
+def heap():
+    return Heap(AddressSpace(), budget_bytes=1 << 20)
+
+
+class TestAllocation:
+    def test_malloc_returns_writable_chunk(self, heap):
+        address = heap.malloc(64, SITE)
+        heap.space.write(address, b"x" * 64, SITE)
+        assert heap.chunk_size(address) == 64
+
+    def test_malloc_zero_returns_null(self, heap):
+        assert heap.malloc(0, SITE) == 0
+
+    def test_malloc_negative_traps(self, heap):
+        with pytest.raises(VMTrap) as info:
+            heap.malloc(-8, SITE)
+        assert info.value.kind is TrapKind.OUT_OF_MEMORY
+
+    def test_calloc_zeroes(self, heap):
+        address = heap.calloc(4, 8, SITE)
+        assert heap.space.read(address, 32, SITE) == bytes(32)
+
+    def test_budget_enforced(self, heap):
+        heap.budget_bytes = 100
+        heap.malloc(60, SITE)
+        with pytest.raises(VMTrap) as info:
+            heap.malloc(60, SITE)
+        assert info.value.kind is TrapKind.OUT_OF_MEMORY
+
+    def test_stats(self, heap):
+        a = heap.malloc(10, SITE)
+        heap.malloc(20, SITE)
+        heap.free(a, SITE)
+        assert heap.stats.allocations == 2
+        assert heap.stats.frees == 1
+        assert heap.stats.bytes_allocated == 30
+        assert heap.stats.peak_live_bytes == 30
+        assert heap.live_bytes == 20
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(0, SITE)
+
+    def test_double_free_detected(self, heap):
+        address = heap.malloc(16, SITE)
+        heap.free(address, SITE)
+        with pytest.raises(VMTrap) as info:
+            heap.free(address, SITE)
+        assert info.value.kind is TrapKind.DOUBLE_FREE
+
+    def test_invalid_free_detected(self, heap):
+        address = heap.malloc(16, SITE)
+        with pytest.raises(VMTrap) as info:
+            heap.free(address + 4, SITE)  # interior pointer
+        assert info.value.kind is TrapKind.INVALID_FREE
+
+    def test_use_after_free_via_space(self, heap):
+        address = heap.malloc(16, SITE)
+        heap.free(address, SITE)
+        with pytest.raises(VMTrap) as info:
+            heap.space.read(address, 1, SITE)
+        assert info.value.kind is TrapKind.USE_AFTER_FREE
+
+
+class TestRealloc:
+    def test_realloc_null_is_malloc(self, heap):
+        address = heap.realloc(0, 32, SITE)
+        assert heap.chunk_size(address) == 32
+
+    def test_realloc_grows_and_preserves(self, heap):
+        address = heap.malloc(8, SITE)
+        heap.space.write(address, b"12345678", SITE)
+        bigger = heap.realloc(address, 16, SITE)
+        assert heap.space.read(bigger, 8, SITE) == b"12345678"
+        assert heap.chunk_size(bigger) == 16
+        assert heap.chunk_size(address) is None
+
+    def test_realloc_shrinks(self, heap):
+        address = heap.malloc(16, SITE)
+        heap.space.write(address, b"abcdefgh" * 2, SITE)
+        smaller = heap.realloc(address, 4, SITE)
+        assert heap.space.read(smaller, 4, SITE) == b"abcd"
+
+    def test_realloc_to_zero_frees(self, heap):
+        address = heap.malloc(16, SITE)
+        assert heap.realloc(address, 0, SITE) == 0
+        assert heap.live_chunk_count() == 0
+
+    def test_realloc_invalid_pointer(self, heap):
+        with pytest.raises(VMTrap) as info:
+            heap.realloc(0xDEAD, 8, SITE)
+        assert info.value.kind is TrapKind.INVALID_FREE
+
+
+class TestLeakTracking:
+    def test_leaked_chunks(self, heap):
+        kept = heap.malloc(8, SITE)
+        freed = heap.malloc(8, SITE)
+        heap.free(freed, SITE)
+        leaks = heap.leaked_chunks()
+        assert [r.base for r in leaks] == [kept]
+
+    def test_snapshot_live_set(self, heap):
+        address = heap.malloc(4, SITE)
+        heap.space.write(address, b"abcd", SITE)
+        snapshot = heap.snapshot_live_set()
+        assert snapshot == {address: b"abcd"}

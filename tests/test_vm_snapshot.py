@@ -1,0 +1,157 @@
+"""Unit tests for program snapshots, diffing, and nondeterminism masks."""
+
+from repro.minic import compile_c
+from repro.vm import VM, NondetMask, build_nondet_mask, diff_snapshots, take_snapshot
+
+SOURCE = """
+int counter;
+int table[4];
+const int K = 9;
+
+int main(int argc, char **argv) {
+    counter++;
+    table[counter & 3] = counter;
+    char *p = (char*)malloc(8);
+    p[0] = (char)counter;
+    return counter;
+}
+"""
+
+
+def fresh_vm():
+    module = compile_c(SOURCE, "snap")
+    vm = VM(module)
+    vm.load()
+    return vm, module
+
+
+def run_once(vm, module):
+    argc, argv = vm.setup_argv(["snap"])
+    vm.run_function(module.get_function("main"), [argc, argv])
+
+
+class TestSnapshotCapture:
+    def test_readonly_sections_excluded(self):
+        vm, _ = fresh_vm()
+        snapshot = take_snapshot(vm)
+        assert ".rodata" not in snapshot.sections
+        assert any(s in snapshot.sections for s in (".data", ".bss"))
+
+    def test_heap_chunks_captured(self):
+        vm, module = fresh_vm()
+        run_once(vm, module)
+        snapshot = take_snapshot(vm)
+        assert snapshot.heap_chunk_count == 1
+        assert snapshot.heap_chunks[0].size == 8
+        assert snapshot.live_heap_bytes == 8
+
+    def test_layouts_cover_sections(self):
+        vm, _ = fresh_vm()
+        snapshot = take_snapshot(vm)
+        for name, data in snapshot.sections.items():
+            layout = snapshot.layouts[name]
+            assert sum(size for _, _, size in layout) == len(data)
+
+    def test_variable_extent(self):
+        vm, _ = fresh_vm()
+        snapshot = take_snapshot(vm)
+        section = next(
+            name for name, layout in snapshot.layouts.items()
+            if any(tag == "table" for tag, _, _ in layout)
+        )
+        start, size = next(
+            (off, size) for tag, off, size in snapshot.layouts[section]
+            if tag == "table"
+        )
+        assert snapshot.variable_extent(section, start + 5) == (start, size)
+        assert size == 16
+
+
+class TestDiff:
+    def test_identical_vms_equivalent(self):
+        vm_a, mod_a = fresh_vm()
+        vm_b, mod_b = fresh_vm()
+        run_once(vm_a, mod_a)
+        run_once(vm_b, mod_b)
+        delta = diff_snapshots(take_snapshot(vm_a), take_snapshot(vm_b))
+        assert delta.equivalent
+        assert delta.describe() == "equivalent"
+
+    def test_global_difference_detected(self):
+        vm_a, mod_a = fresh_vm()
+        vm_b, mod_b = fresh_vm()
+        run_once(vm_a, mod_a)
+        run_once(vm_b, mod_b)
+        run_once(vm_b, mod_b)  # counter now differs
+        delta = diff_snapshots(take_snapshot(vm_a), take_snapshot(vm_b))
+        assert not delta.equivalent
+        assert delta.section_diffs
+
+    def test_heap_difference_detected(self):
+        vm_a, mod_a = fresh_vm()
+        vm_b, mod_b = fresh_vm()
+        run_once(vm_a, mod_a)
+        run_once(vm_b, mod_b)
+        vm_b.heap.malloc(4, vm_b.site)
+        delta = diff_snapshots(take_snapshot(vm_a), take_snapshot(vm_b))
+        assert delta.heap_diff
+
+    def test_open_file_difference_detected(self):
+        vm_a, _ = fresh_vm()
+        vm_b, _ = fresh_vm()
+        vm_b.fs.write_file("/x", b"1")
+        vm_b.fd_table.fopen("/x", "r", vm_b.site)
+        delta = diff_snapshots(take_snapshot(vm_a), take_snapshot(vm_b))
+        assert delta.file_diff
+
+    def test_rand_difference_detected_and_maskable(self):
+        vm_a, _ = fresh_vm()
+        vm_b, _ = fresh_vm()
+        vm_b.rand_state = 999
+        delta = diff_snapshots(take_snapshot(vm_a), take_snapshot(vm_b))
+        assert delta.rand_diff
+        mask = NondetMask()
+        mask.ignore_rand = True
+        masked = diff_snapshots(take_snapshot(vm_a), take_snapshot(vm_b), mask)
+        assert masked.equivalent
+
+
+class TestMaskBuilding:
+    def _snapshots_with_counter_diff(self):
+        vm_a, mod_a = fresh_vm()
+        vm_b, mod_b = fresh_vm()
+        run_once(vm_a, mod_a)
+        run_once(vm_b, mod_b)
+        run_once(vm_b, mod_b)
+        return take_snapshot(vm_a), take_snapshot(vm_b)
+
+    def test_byte_mask_covers_differing_bytes(self):
+        snap_a, snap_b = self._snapshots_with_counter_diff()
+        mask = build_nondet_mask([snap_a, snap_b], granularity="byte")
+        assert mask.masked_byte_count > 0
+        assert diff_snapshots(snap_a, snap_b, mask).section_diffs == {}
+
+    def test_variable_mask_widens_to_whole_variable(self):
+        snap_a, snap_b = self._snapshots_with_counter_diff()
+        byte_mask = build_nondet_mask([snap_a, snap_b], granularity="byte")
+        var_mask = build_nondet_mask([snap_a, snap_b], granularity="variable")
+        assert var_mask.masked_byte_count >= byte_mask.masked_byte_count
+
+    def test_single_snapshot_gives_empty_mask(self):
+        snap_a, _ = self._snapshots_with_counter_diff()
+        assert build_nondet_mask([snap_a]).masked_byte_count == 0
+
+    def test_mask_merge(self):
+        snap_a, snap_b = self._snapshots_with_counter_diff()
+        mask_a = build_nondet_mask([snap_a, snap_b], granularity="byte")
+        mask_b = NondetMask()
+        mask_b.ignore_rand = True
+        mask_b.merge(mask_a)
+        assert mask_b.ignore_rand
+        assert mask_b.masked_byte_count == mask_a.masked_byte_count
+
+    def test_unknown_granularity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            build_nondet_mask([], granularity="lines")
