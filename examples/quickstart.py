@@ -14,6 +14,7 @@ from repro.fuzzing import Campaign, CampaignConfig
 from repro.minic import compile_c
 from repro.passes import PassManager, baseline_passes, closurex_passes
 from repro.sim_os import Kernel
+from repro.telemetry import ProfileReport, TelemetryConfig
 
 # A little PNG-chunk-flavoured parser with one planted bug.
 SOURCE = r"""
@@ -62,8 +63,11 @@ def build(pipeline_factory):
     return module
 
 
-def fuzz(name, executor):
-    campaign = Campaign(executor, SEEDS, CampaignConfig(budget_ns=BUDGET_NS, seed=7))
+def fuzz(name, executor, telemetry=None):
+    config = CampaignConfig(budget_ns=BUDGET_NS, seed=7)
+    if telemetry is not None:
+        config.telemetry = telemetry
+    campaign = Campaign(executor, SEEDS, config)
     result = campaign.run()
     print(f"{name:>12}: {result.execs:6d} execs "
           f"({result.execs_per_second:,.0f}/virtual-sec), "
@@ -71,16 +75,20 @@ def fuzz(name, executor):
           f"{result.unique_crashes} unique crash(es)")
     for report in result.crash_reports:
         print(f"{'':>14}crash: {report.describe()}")
-    return result
+    return campaign, result
 
 
 def main():
     print("ClosureX quickstart: one bug, two execution mechanisms\n")
-    closurex = fuzz(
+    # Telemetry is off by default; here the ClosureX run opts in to an
+    # in-memory trace plus the VM profiler so we can show the AFL-style
+    # status screen and hot-spot table afterwards.
+    cx_campaign, closurex = fuzz(
         "ClosureX",
         ClosureXExecutor(build(closurex_passes), IMAGE_BYTES, Kernel()),
+        telemetry=TelemetryConfig(enabled=True, sink="memory", profile_vm=True),
     )
-    forkserver = fuzz(
+    _, forkserver = fuzz(
         "forkserver",
         ForkServerExecutor(build(baseline_passes), IMAGE_BYTES, Kernel()),
     )
@@ -93,6 +101,12 @@ def main():
     elif closurex.unique_crashes:
         print("The extra throughput paid off: only ClosureX reached the bug "
               "within this budget.")
+
+    print("\nAFL-style status for the ClosureX campaign "
+          "(virtual-clock timestamps):\n")
+    print(cx_campaign.reporter.render_status())
+    print("\nVM hot spots over the whole campaign:\n")
+    print(ProfileReport.from_executor(cx_campaign.executor).render(top=5))
 
 
 if __name__ == "__main__":

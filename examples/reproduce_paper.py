@@ -6,6 +6,7 @@
     python examples/reproduce_paper.py --table 7
     python examples/reproduce_paper.py --correctness
     python examples/reproduce_paper.py --figures
+    python examples/reproduce_paper.py --profile
     python examples/reproduce_paper.py --all
 
 Sizing: campaigns run for --budget-ms virtual milliseconds and results
@@ -30,7 +31,11 @@ from repro.experiments import (
     run_table7,
     run_timeline,
 )
-from repro.targets import target_names
+from repro.execution import ClosureXExecutor
+from repro.fuzzing import Campaign, CampaignConfig
+from repro.sim_os import Kernel
+from repro.targets import get_target, target_names
+from repro.telemetry import ProfileReport, TelemetryConfig
 
 
 def parse_args():
@@ -45,6 +50,8 @@ def parse_args():
                         help="the persistent-mode pathologies demo")
     parser.add_argument("--ablation", action="store_true",
                         help="pass-ablation study")
+    parser.add_argument("--profile", action="store_true",
+                        help="telemetry demo: one traced campaign + VM profile")
     parser.add_argument("--all", action="store_true", help="everything")
     parser.add_argument("--budget-ms", type=int, default=20,
                         help="virtual ms per campaign (default 20)")
@@ -59,9 +66,10 @@ def main():
     args = parse_args()
     if args.all:
         args.table = [5, 6, 7]
-        args.correctness = args.figures = args.motivation = args.ablation = True
+        args.correctness = args.figures = args.motivation = True
+        args.ablation = args.profile = True
     if not (args.table or args.correctness or args.figures
-            or args.motivation or args.ablation):
+            or args.motivation or args.ablation or args.profile):
         print("nothing selected; try --all or --table 5", file=sys.stderr)
         return 1
 
@@ -121,6 +129,24 @@ def main():
     if args.ablation:
         section("Ablation: drop each pass",
                 lambda: print(run_pass_ablation("bsdtar").render()))
+    if args.profile:
+        def profile():
+            spec = get_target(targets[0])
+            executor = ClosureXExecutor(
+                spec.build_closurex(), spec.image_bytes, Kernel())
+            campaign_config = CampaignConfig(budget_ns=config.budget_ns, seed=1)
+            campaign_config.telemetry = TelemetryConfig(
+                enabled=True, sink="memory", profile_vm=True)
+            campaign = Campaign(executor, spec.seeds, campaign_config)
+            campaign.run()
+            print(campaign.reporter.render_status())
+            print()
+            print(ProfileReport.from_executor(executor).render(top=8))
+            trace = campaign.telemetry.tracer.sink.events
+            execs = sum(1 for e in trace if e.name == "exec")
+            print(f"\ntrace: {len(trace)} events ({execs} exec spans), "
+                  f"all stamped in virtual ns")
+        section(f"Telemetry: traced campaign on {targets[0]}", profile)
     return 0
 
 

@@ -6,6 +6,8 @@ from repro.execution.common import (
     ExecResult,
     Executor,
     ExecutorStats,
+    call_target,
+    classify_trap,
 )
 from repro.execution.forkserver import ForkServerExecutor
 from repro.execution.fresh import FreshProcessExecutor
@@ -21,4 +23,6 @@ __all__ = [
     "FreshProcessExecutor",
     "NaivePersistentExecutor",
     "PollutionStats",
+    "call_target",
+    "classify_trap",
 ]

@@ -54,6 +54,7 @@ class ClosureXExecutor(Executor):
             fs=self.fs,
             costs=self.kernel.costs,
             config=self.config,
+            vm_counters=self.vm_counters(),
         )
         vm = self.harness.boot(charge_load=charge_load)
         self.kernel.charge(vm.cost)
@@ -86,16 +87,17 @@ class ClosureXExecutor(Executor):
         if not iteration.status.survivable:
             self._respawn()
 
-        result = ExecResult(
+        restore = iteration.restore
+        return self.finish_exec(
             status=iteration.status,
             return_code=iteration.return_code,
             trap=iteration.trap,
             coverage=coverage,
-            ns=self.clock.now_ns - start_ns,
+            start_ns=start_ns,
             instructions=iteration.instructions,
+            restore_ns=restore.restore_ns if restore is not None else 0,
+            leaked_chunks=restore.leaked_chunks if restore is not None else 0,
         )
-        self.stats.observe(result)
-        return result
 
     def shutdown(self) -> None:
         if self.process is not None:

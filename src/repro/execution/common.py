@@ -14,10 +14,55 @@ from dataclasses import dataclass
 
 from repro.runtime.harness import IterationStatus
 from repro.sim_os.kernel import Kernel
-from repro.vm.errors import VMTrap
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.vm.errors import (
+    ExecutionLimitExceeded,
+    HarnessExit,
+    ProcessExit,
+    VMTrap,
+)
 
 #: Default per-test-case instruction budget (hang detection).
 DEFAULT_EXEC_INSTRUCTION_LIMIT = 2_000_000
+
+
+def classify_trap(trap: VMTrap | None) -> str:
+    """Stable label for a trap kind (metrics / trace attributes)."""
+    return trap.kind.name.lower() if trap is not None else "none"
+
+
+def call_target(
+    vm,
+    function,
+    args: list[int],
+    process_exit_status: IterationStatus = IterationStatus.EXIT,
+) -> tuple[IterationStatus, int | None, VMTrap | None]:
+    """Run the target entry point and classify its outcome.
+
+    The exception-to-status mapping is identical across execution
+    mechanisms; what differs is only the meaning of a raw ``exit()``
+    call — termination for fresh/forkserver children
+    (:attr:`IterationStatus.EXIT`), death of the resident process for
+    the naive persistent loop (:attr:`IterationStatus.PROCESS_EXIT`).
+    """
+    status = IterationStatus.OK
+    return_code: int | None = None
+    trap: VMTrap | None = None
+    try:
+        return_code = vm.run_function(function, args)
+    except ProcessExit as exit_:
+        status = process_exit_status
+        return_code = exit_.code
+    except HarnessExit as exit_:
+        # Only reachable for modules built with the ExitPass.
+        status = IterationStatus.EXIT
+        return_code = exit_.code
+    except VMTrap as trap_:
+        status = IterationStatus.CRASH
+        trap = trap_
+    except ExecutionLimitExceeded:
+        status = IterationStatus.HANG
+    return status, return_code, trap
 
 
 @dataclass
@@ -79,10 +124,75 @@ class Executor:
         self.kernel = kernel
         self.stats = ExecutorStats()
         self.exec_instruction_limit = DEFAULT_EXEC_INSTRUCTION_LIMIT
+        self.telemetry: Telemetry = NULL_TELEMETRY
+        # Cumulative profiling dicts, shared with every VM this executor
+        # creates when profiling is enabled (see vm_counters()).
+        self.opcode_counts: dict[str, int] = {}
+        self.libc_counts: dict[str, int] = {}
 
     @property
     def clock(self):
         return self.kernel.clock
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Adopt a campaign's telemetry stack (tracer shared with the
+        kernel so process-lifecycle spans land in the same trace)."""
+        self.telemetry = telemetry
+        self.kernel.tracer = telemetry.tracer
+
+    def vm_counters(self) -> dict:
+        """Keyword arguments threading the profiling dicts into a VM
+        (empty — the zero-overhead path — unless profiling is on)."""
+        if self.telemetry.enabled and self.telemetry.config.profile_vm:
+            return {
+                "opcode_counts": self.opcode_counts,
+                "libc_counts": self.libc_counts,
+            }
+        return {}
+
+    def finish_exec(
+        self,
+        *,
+        status: IterationStatus,
+        return_code: int | None,
+        trap: VMTrap | None,
+        coverage: bytearray,
+        start_ns: int,
+        instructions: int,
+        **extra_attrs,
+    ) -> ExecResult:
+        """Common per-exec epilogue for all mechanisms: build the
+        :class:`ExecResult`, update :class:`ExecutorStats`, and emit
+        the telemetry exec span / metrics."""
+        result = ExecResult(
+            status=status,
+            return_code=return_code,
+            trap=trap,
+            coverage=coverage,
+            ns=self.clock.now_ns - start_ns,
+            instructions=instructions,
+        )
+        self.stats.observe(result)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter("exec.total").inc()
+            metrics.counter(f"exec.status.{status.value}").inc()
+            if trap is not None:
+                metrics.counter(f"exec.trap.{classify_trap(trap)}").inc()
+            metrics.histogram("exec.instructions").observe(instructions)
+            metrics.histogram("exec.ns").observe(result.ns)
+            tracer = telemetry.tracer
+            if tracer.enabled:
+                tracer.span_at(
+                    "exec", start_ns, self.clock.now_ns,
+                    mechanism=self.mechanism,
+                    status=status.value,
+                    trap=classify_trap(trap),
+                    instructions=instructions,
+                    **extra_attrs,
+                )
+        return result
 
     def boot(self) -> None:
         """One-time setup before the first test case (may be a no-op)."""

@@ -9,11 +9,10 @@ that Table 5 benchmarks ClosureX against.
 
 from __future__ import annotations
 
-from repro.execution.common import ExecResult, Executor
+from repro.execution.common import ExecResult, Executor, call_target
 from repro.ir.module import Module
 from repro.runtime.harness import DEFAULT_INPUT_PATH, IterationStatus
 from repro.sim_os.kernel import Kernel, ProcessRecord
-from repro.vm.errors import ExecutionLimitExceeded, ProcessExit, VMTrap
 from repro.vm.filesystem import VirtualFS
 from repro.vm.interpreter import VM
 
@@ -60,25 +59,13 @@ class ForkServerExecutor(Executor):
         child = self.kernel.fork(self.parent, self.footprint_bytes)
 
         self.fs.write_file(self.input_path, data)
-        vm = VM(self.module, fs=self.fs)
+        vm = VM(self.module, fs=self.fs, **self.vm_counters())
         vm.load()  # inherits the parent's image: no load cost charged
         vm.instruction_limit = self.exec_instruction_limit
         argc, argv = vm.setup_argv([self.module.name, self.input_path])
         entry_fn = self.module.get_function(self.entry)
 
-        status = IterationStatus.OK
-        return_code: int | None = None
-        trap: VMTrap | None = None
-        try:
-            return_code = vm.run_function(entry_fn, [argc, argv])
-        except ProcessExit as exit_:
-            status = IterationStatus.EXIT
-            return_code = exit_.code
-        except VMTrap as trap_:
-            status = IterationStatus.CRASH
-            trap = trap_
-        except ExecutionLimitExceeded:
-            status = IterationStatus.HANG
+        status, return_code, trap = call_target(vm, entry_fn, [argc, argv])
 
         self.kernel.charge(vm.cost)
         self.kernel.charge_cow(vm.memory.bytes_written)
@@ -86,16 +73,14 @@ class ForkServerExecutor(Executor):
             child, return_code, crashed=status is IterationStatus.CRASH
         )
         self.last_vm = vm
-        result = ExecResult(
+        return self.finish_exec(
             status=status,
             return_code=return_code,
             trap=trap,
             coverage=vm.coverage_map,
-            ns=self.clock.now_ns - start_ns,
+            start_ns=start_ns,
             instructions=vm.instructions_executed,
         )
-        self.stats.observe(result)
-        return result
 
     def shutdown(self) -> None:
         if self.parent is not None:

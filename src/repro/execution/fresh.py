@@ -8,11 +8,10 @@ left-most point of the mechanism-spectrum figure.
 
 from __future__ import annotations
 
-from repro.execution.common import ExecResult, Executor
+from repro.execution.common import ExecResult, Executor, call_target
 from repro.ir.module import Module
 from repro.runtime.harness import DEFAULT_INPUT_PATH, IterationStatus
 from repro.sim_os.kernel import Kernel
-from repro.vm.errors import ExecutionLimitExceeded, ProcessExit, VMTrap
 from repro.vm.filesystem import VirtualFS
 from repro.vm.interpreter import VM
 
@@ -44,27 +43,15 @@ class FreshProcessExecutor(Executor):
 
         fs = VirtualFS()
         fs.write_file(self.input_path, data)
-        vm = VM(self.module, fs=fs)
+        vm = VM(self.module, fs=fs, **self.vm_counters())
         vm.load()
         vm.charge(vm.load_cost)
         vm.instruction_limit = self.exec_instruction_limit
         argc, argv = vm.setup_argv([self.module.name, self.input_path])
         entry_fn = self.module.get_function(self.entry)
 
-        status = IterationStatus.OK
-        return_code: int | None = None
-        trap: VMTrap | None = None
-        try:
-            return_code = vm.run_function(entry_fn, [argc, argv])
-        except ProcessExit as exit_:
-            # exit() in a fresh process is just termination.
-            status = IterationStatus.EXIT
-            return_code = exit_.code
-        except VMTrap as trap_:
-            status = IterationStatus.CRASH
-            trap = trap_
-        except ExecutionLimitExceeded:
-            status = IterationStatus.HANG
+        # exit() in a fresh process is just termination.
+        status, return_code, trap = call_target(vm, entry_fn, [argc, argv])
 
         self.kernel.charge(vm.cost)
         self.kernel.reap(
@@ -72,13 +59,11 @@ class FreshProcessExecutor(Executor):
             crashed=status is IterationStatus.CRASH, fresh=True,
         )
         self.last_vm = vm
-        result = ExecResult(
+        return self.finish_exec(
             status=status,
             return_code=return_code,
             trap=trap,
             coverage=vm.coverage_map,
-            ns=self.clock.now_ns - start_ns,
+            start_ns=start_ns,
             instructions=vm.instructions_executed,
         )
-        self.stats.observe(result)
-        return result

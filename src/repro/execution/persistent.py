@@ -22,17 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.execution.common import ExecResult, Executor
+from repro.execution.common import ExecResult, Executor, call_target
 from repro.ir.module import Module
 from repro.passes.rename_main import TARGET_MAIN
 from repro.runtime.harness import DEFAULT_INPUT_PATH, IterationStatus
 from repro.sim_os.kernel import Kernel, ProcessRecord
-from repro.vm.errors import (
-    ExecutionLimitExceeded,
-    HarnessExit,
-    ProcessExit,
-    VMTrap,
-)
 from repro.vm.filesystem import VirtualFS
 from repro.vm.interpreter import VM
 
@@ -86,7 +80,7 @@ class NaivePersistentExecutor(Executor):
         self._build_vm(charge_load=False)
 
     def _build_vm(self, charge_load: bool) -> None:
-        self.vm = VM(self.module, fs=self.fs)
+        self.vm = VM(self.module, fs=self.fs, **self.vm_counters())
         self.vm.load()
         if charge_load:
             self.vm.charge(self.vm.load_cost)
@@ -123,68 +117,60 @@ class NaivePersistentExecutor(Executor):
         vm.charge(self.kernel.costs.loop_iteration_ns)
         target = self.module.get_function(TARGET_MAIN)
 
-        status = IterationStatus.OK
-        return_code: int | None = None
-        trap: VMTrap | None = None
-        needs_respawn = False
         instructions_before = vm.instructions_executed
-        try:
-            return_code = vm.run_function(target, [self._argc, self._argv])
-        except ProcessExit as exit_:
-            # exit() was NOT hooked: the whole persistent process dies.
-            status = IterationStatus.PROCESS_EXIT
-            return_code = exit_.code
-            needs_respawn = True
-        except HarnessExit as exit_:  # pragma: no cover - not built with ExitPass
-            status = IterationStatus.EXIT
-            return_code = exit_.code
-        except VMTrap as trap_:
-            status = IterationStatus.CRASH
-            trap = trap_
-            needs_respawn = True
-        except ExecutionLimitExceeded:
-            status = IterationStatus.HANG
-            needs_respawn = True
+        # A raw (unhooked) exit() kills the whole persistent process, so
+        # it maps to PROCESS_EXIT rather than EXIT.
+        status, return_code, trap = call_target(
+            vm, target, [self._argc, self._argv],
+            process_exit_status=IterationStatus.PROCESS_EXIT,
+        )
 
         coverage = vm.coverage_map
         instructions = vm.instructions_executed - instructions_before
-        self._observe_pollution(vm)
+        residue = self._observe_pollution(vm)
         self.kernel.charge(vm.cost - cost_before)
 
-        if needs_respawn:
+        if not status.survivable:
             self._respawn()
         else:
             # The only cleanup a bare loop gets for free: the C stack
             # unwinds when target_main returns.
             vm.reset_stack_addresses()
 
-        result = ExecResult(
+        return self.finish_exec(
             status=status,
             return_code=return_code,
             trap=trap,
             coverage=coverage,
-            ns=self.clock.now_ns - start_ns,
+            start_ns=start_ns,
             instructions=instructions,
+            **residue,
         )
-        self.stats.observe(result)
-        return result
 
-    def _observe_pollution(self, vm: VM) -> None:
+    def _observe_pollution(self, vm: VM) -> dict[str, int]:
+        """Update peak pollution stats; returns this iteration's residue
+        (attached to the exec span as the paper's pollution evidence)."""
         stats = self.pollution
-        stats.peak_leaked_chunks = max(
-            stats.peak_leaked_chunks, vm.heap.live_chunk_count()
-        )
-        stats.peak_leaked_bytes = max(stats.peak_leaked_bytes, vm.heap.live_bytes)
-        stats.peak_open_fds = max(
-            stats.peak_open_fds, vm.fd_table.open_handle_count()
-        )
+        leaked_chunks = vm.heap.live_chunk_count()
+        leaked_bytes = vm.heap.live_bytes
+        open_fds = vm.fd_table.open_handle_count()
+        stats.peak_leaked_chunks = max(stats.peak_leaked_chunks, leaked_chunks)
+        stats.peak_leaked_bytes = max(stats.peak_leaked_bytes, leaked_bytes)
+        stats.peak_open_fds = max(stats.peak_open_fds, open_fds)
         current = b"".join(
             vm.section_bytes(name)
             for name in sorted(vm.sections)
             if name != ".rodata"
         )
-        if current != self._baseline_globals:
+        dirty = current != self._baseline_globals
+        if dirty:
             stats.dirty_global_iterations += 1
+        return {
+            "leaked_chunks": leaked_chunks,
+            "leaked_bytes": leaked_bytes,
+            "open_fds": open_fds,
+            "dirty_globals": int(dirty),
+        }
 
     def shutdown(self) -> None:
         if self.process is not None:

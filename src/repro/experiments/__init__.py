@@ -53,6 +53,8 @@ from repro.experiments.stats import (
     format_table,
     mann_whitney_p,
     mean,
+    median,
+    stddev,
 )
 from repro.experiments.table5 import Table5Result, Table5Row, run_table5
 from repro.experiments.table6 import Table6Result, Table6Row, edge_universe, run_table6
@@ -69,7 +71,8 @@ __all__ = [
     "run_global_pass_figure", "run_restore_lifecycle", "run_spectrum",
     "run_timeline",
     "DEMO_SOURCE", "MotivationReport", "build_demo_modules", "run_motivation",
-    "format_count", "format_table", "mann_whitney_p", "mean",
+    "format_count", "format_table", "mann_whitney_p", "mean", "median",
+    "stddev",
     "Table5Result", "Table5Row", "run_table5",
     "Table6Result", "Table6Row", "edge_universe", "run_table6",
     "BUG_TARGETS", "Table7Result", "Table7Row", "run_table7",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.campaign_runner import build_executor, run_campaign
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.stats import format_table
+from repro.experiments.stats import format_table, median, stddev
 from repro.passes.base import PassManager
 from repro.passes.global_pass import CLOSURE_GLOBAL_SECTION
 from repro.passes.pipelines import closurex_passes
@@ -35,9 +35,13 @@ from repro.targets import get_target
 @dataclass
 class MechanismPoint:
     mechanism: str
-    ns_per_exec: float
+    ns_per_exec: float             # mean over all measured execs
     management_ns_per_exec: float
     execs_measured: int
+    # Per-exec distribution, matching how the paper reports trial
+    # medians rather than means alone (§5.4).
+    median_ns_per_exec: float = 0.0
+    stddev_ns_per_exec: float = 0.0
 
     @property
     def management_share(self) -> float:
@@ -54,13 +58,17 @@ class SpectrumResult:
             [
                 p.mechanism,
                 f"{p.ns_per_exec / 1000:.1f} us",
+                f"{p.median_ns_per_exec / 1000:.1f} us",
+                f"{p.stddev_ns_per_exec / 1000:.1f} us",
                 f"{p.management_ns_per_exec / 1000:.1f} us",
                 f"{100 * p.management_share:.0f}%",
             ]
             for p in self.points
         ]
         return format_table(
-            ["Mechanism", "per-exec", "process mgmt", "mgmt share"], body
+            ["Mechanism", "mean/exec", "median/exec", "stddev",
+             "process mgmt", "mgmt share"],
+            body,
         )
 
     def ordering_correct(self) -> bool:
@@ -82,16 +90,20 @@ def run_spectrum(target: str = "giftext", iterations: int = 40) -> SpectrumResul
         executor.boot()
         start = kernel.clock.now_ns
         mgmt_start = kernel.stats.process_management_ns()
-        count = 0
+        samples: list[float] = []
         for _ in range(iterations):
             for seed in spec.seeds:
-                executor.run(seed)
-                count += 1
+                samples.append(executor.run(seed).ns)
         executor.shutdown()
+        count = len(samples)
         total = kernel.clock.now_ns - start
         mgmt = kernel.stats.process_management_ns() - mgmt_start
         points.append(
-            MechanismPoint(mechanism, total / count, mgmt / count, count)
+            MechanismPoint(
+                mechanism, total / count, mgmt / count, count,
+                median_ns_per_exec=median(samples),
+                stddev_ns_per_exec=stddev(samples),
+            )
         )
     return SpectrumResult(target=target, points=points)
 

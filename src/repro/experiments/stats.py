@@ -27,6 +27,27 @@ def mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def median(values: list[float]) -> float:
+    """The paper reports medians over 5 trials (§5.4)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def stddev(values: list[float]) -> float:
+    """Sample standard deviation (Bessel-corrected); 0.0 when n < 2."""
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return (
+        sum((v - centre) ** 2 for v in values) / (len(values) - 1)
+    ) ** 0.5
+
+
 def format_count(value: float) -> str:
     """Format a test-case count the way Table 5 does (e.g. ``379M``)."""
     if value >= 1e9:

@@ -18,6 +18,7 @@ from repro.fuzzing.corpus import Corpus, QueueEntry
 from repro.fuzzing.coverage import VirginMap, coverage_signature
 from repro.fuzzing.mutators import HavocMutator, deterministic_mutations
 from repro.fuzzing.triage import CrashTriage
+from repro.telemetry import CampaignReporter, TelemetryConfig, build_telemetry
 
 
 @dataclass
@@ -37,6 +38,9 @@ class CampaignConfig:
     havoc_base_energy: int = 48
     max_input_size: int = 1024
     timeline_samples: int = 64            # coverage/exec timeline resolution
+    # Observability; the default is the shared null stack (zero events,
+    # zero files, no measurable overhead).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
 
 @dataclass
@@ -88,9 +92,16 @@ class Campaign:
         self.triage = CrashTriage()
         self.havoc = HavocMutator(self.rng, self.config.max_input_size)
         self.execs = 0
+        self.current_entry_id = 0
         self._timeline: list[TimelinePoint] = []
         self._next_sample_ns = 0
         self._sample_every = max(1, self.config.budget_ns // self.config.timeline_samples)
+        # Telemetry: the null stack unless the config opts in, in which
+        # case the executor (and through it the kernel) share our tracer.
+        self.telemetry = build_telemetry(self.config.telemetry, executor.clock)
+        if self.telemetry.enabled:
+            executor.attach_telemetry(self.telemetry)
+        self.reporter: CampaignReporter | None = None
 
     # ------------------------------------------------------------------
 
@@ -105,20 +116,39 @@ class Campaign:
         self._next_sample_ns = start_ns
 
         self._sample_every = sample_every
-        self.executor.boot()
-        self._seed_queue()
+        if self.telemetry.enabled:
+            self.reporter = CampaignReporter(
+                self,
+                out_dir=self.config.telemetry.report_dir,
+                interval_ns=self.config.telemetry.report_interval_ns,
+            )
+        tracer = self.telemetry.tracer
+        with tracer.span("campaign.boot", mechanism=self.executor.mechanism):
+            self.executor.boot()
+        with tracer.span("stage.seed", seeds=len(self.seeds)):
+            self._seed_queue()
 
         while self.clock.now_ns < deadline_ns and len(self.corpus):
             entry = self.corpus.select_next(self.rng)
+            self.current_entry_id = entry.entry_id
+            if tracer.enabled:
+                tracer.event(
+                    "queue.select", entry=entry.entry_id,
+                    favored=entry.favored, depth=entry.depth,
+                    times_selected=entry.times_selected,
+                )
             if self.config.enable_trim and not entry.trim_done:
-                self._trim_entry(entry, deadline_ns)
+                with tracer.span("stage.trim", entry=entry.entry_id):
+                    self._trim_entry(entry, deadline_ns)
                 entry.trim_done = True
             if self.config.enable_deterministic and not entry.det_done:
-                self._deterministic_stage(entry, deadline_ns)
+                with tracer.span("stage.det", entry=entry.entry_id):
+                    self._deterministic_stage(entry, deadline_ns)
                 entry.det_done = True
             if self.clock.now_ns >= deadline_ns:
                 break
-            self._havoc_stage(entry, deadline_ns)
+            with tracer.span("stage.havoc", entry=entry.entry_id):
+                self._havoc_stage(entry, deadline_ns)
 
         self.executor.shutdown()
         return self._finish(start_ns)
@@ -165,6 +195,10 @@ class Campaign:
                     offset += chunk
             chunk //= 2
         if len(data) < len(entry.data):
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("trim.bytes_removed").inc(
+                    len(entry.data) - len(data)
+                )
             entry.data = data
 
     def _deterministic_stage(self, entry: QueueEntry, deadline_ns: int) -> None:
@@ -195,10 +229,18 @@ class Campaign:
         if novelty == VirginMap.NEW_EDGES or (
             novelty == VirginMap.NEW_COUNTS and self.rng.random() < 0.5
         ):
-            self.corpus.add(
+            added = self.corpus.add(
                 data, coverage_signature(result.coverage),
                 result.ns, self.clock.now_ns, parent,
             )
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("corpus.adds").inc()
+                if self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.event(
+                        "corpus.add", entry=added.entry_id,
+                        parent=parent.entry_id, depth=added.depth,
+                        size=len(data),
+                    )
 
     def _execute(self, data: bytes) -> ExecResult | None:
         result = self.executor.run(data)
@@ -206,6 +248,8 @@ class Campaign:
         if result.is_crash and result.trap is not None:
             self.triage.record(result.trap, data, self.clock.now_ns)
         self._maybe_sample(self._sample_every)
+        if self.reporter is not None:
+            self.reporter.maybe_update()
         return result
 
     def _maybe_sample(self, sample_every: int) -> None:
@@ -221,6 +265,9 @@ class Campaign:
             self._next_sample_ns = self.clock.now_ns + sample_every
 
     def _finish(self, start_ns: int) -> CampaignResult:
+        if self.reporter is not None:
+            self.reporter.finalize()
+        self.telemetry.flush()
         return CampaignResult(
             mechanism=self.executor.mechanism,
             execs=self.execs,

@@ -9,10 +9,12 @@ Figure 3-5 experiments use to assert the transformations happened.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.ir.module import Function, Module
 from repro.ir.verifier import verify_module
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -59,18 +61,36 @@ class FunctionPass(ModulePass):
 
 
 class PassManager:
-    """Runs a pipeline of passes over a module."""
+    """Runs a pipeline of passes over a module.
 
-    def __init__(self, passes: list[ModulePass], verify_each: bool = True):
+    An optional telemetry tracer receives one ``pass.run`` event per
+    pass, carrying the wall-clock transform time (passes run at build
+    time, outside any virtual clock) and the pass's rewrite counts.
+    """
+
+    def __init__(self, passes: list[ModulePass], verify_each: bool = True,
+                 tracer: Tracer | None = None):
         self.passes = list(passes)
         self.verify_each = verify_each
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.results: list[PassResult] = []
 
     def run(self, module: Module) -> list[PassResult]:
         self.results = []
         for pass_ in self.passes:
+            wall_start = time.perf_counter_ns()
             result = pass_.run(module)
+            wall_ns = time.perf_counter_ns() - wall_start
             self.results.append(result)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "pass.run",
+                    pass_name=result.pass_name,
+                    module=module.name,
+                    changed=result.changed,
+                    wall_ns=wall_ns,
+                    **{f"rewrites.{k}": v for k, v in result.details.items()},
+                )
             if self.verify_each:
                 verify_module(module)
         return self.results

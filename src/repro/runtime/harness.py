@@ -110,6 +110,7 @@ class ClosureXHarness:
         fs: VirtualFS | None = None,
         costs: CostModel | None = None,
         config: HarnessConfig | None = None,
+        vm_counters: dict | None = None,
     ):
         if not module.has_function(TARGET_MAIN):
             raise ValueError(
@@ -119,6 +120,9 @@ class ClosureXHarness:
         self.fs = fs if fs is not None else VirtualFS()
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.config = config if config is not None else HarnessConfig()
+        # Optional telemetry: VM profiling-dict kwargs from the owning
+        # executor (see Executor.vm_counters).
+        self.vm_counters = vm_counters if vm_counters is not None else {}
         self.chunk_map = ChunkMap()
         self.fd_tracker = FDTracker()
         self.vm: VM | None = None
@@ -204,6 +208,7 @@ class ClosureXHarness:
             heap_budget=config.heap_budget,
             max_open_files=config.max_open_files,
             extra_natives=self._make_natives(),
+            **self.vm_counters,
         )
         self.vm.load()
         if charge_load:

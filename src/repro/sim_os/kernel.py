@@ -8,6 +8,12 @@ do — it owns time and process bookkeeping:
 - :class:`VirtualClock` accumulates virtual nanoseconds.
 - :class:`Kernel` charges the cost model for spawn / fork / copy-on-write /
   teardown and keeps per-mechanism statistics the experiments report.
+
+Process lifecycle events are additionally mirrored to a telemetry
+tracer (``kernel.spawn`` / ``kernel.fork`` / ``kernel.teardown`` spans
+covering exactly the virtual ns the operation was charged); the default
+tracer is the shared null tracer, so an unobserved kernel pays one
+attribute read per lifecycle event.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import itertools
 from dataclasses import dataclass
 
 from repro.sim_os.costs import DEFAULT_COSTS, CostModel
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 class VirtualClock:
@@ -77,9 +84,11 @@ class Kernel:
     """Process lifecycle + time accounting for one simulated machine."""
 
     def __init__(self, costs: CostModel | None = None,
-                 clock: VirtualClock | None = None):
+                 clock: VirtualClock | None = None,
+                 tracer: Tracer | None = None):
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.clock = clock if clock is not None else VirtualClock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = KernelStats()
         self.processes: dict[int, ProcessRecord] = {}
         self._pids = itertools.count(1000)
@@ -93,7 +102,13 @@ class Kernel:
         self.clock.advance(cost)
         self.stats.spawns += 1
         self.stats.spawn_ns += cost
-        return self._register(image, parent_pid)
+        record = self._register(image, parent_pid)
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                "kernel.spawn", self.clock.now_ns - cost, self.clock.now_ns,
+                pid=record.pid, image=image,
+            )
+        return record
 
     def fork(self, parent: ProcessRecord, footprint_bytes: int) -> ProcessRecord:
         """fork() from a forkserver parent; cost scales with its footprint."""
@@ -101,7 +116,13 @@ class Kernel:
         self.clock.advance(cost)
         self.stats.forks += 1
         self.stats.fork_ns += cost
-        return self._register(parent.image, parent.pid)
+        record = self._register(parent.image, parent.pid)
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                "kernel.fork", self.clock.now_ns - cost, self.clock.now_ns,
+                pid=record.pid, parent_pid=parent.pid,
+            )
+        return record
 
     def charge_cow(self, bytes_written: int) -> None:
         """Copy-on-write page copies triggered by a forked child's writes."""
@@ -119,6 +140,11 @@ class Kernel:
         process.state = ProcessState.CRASHED if crashed else ProcessState.EXITED
         process.exit_code = exit_code
         process.ended_at_ns = self.clock.now_ns
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                "kernel.teardown", self.clock.now_ns - cost, self.clock.now_ns,
+                pid=process.pid, crashed=crashed, fresh=fresh,
+            )
 
     def _register(self, image: str, parent_pid: int | None) -> ProcessRecord:
         record = ProcessRecord(

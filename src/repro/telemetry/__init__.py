@@ -1,0 +1,50 @@
+"""Observability for the whole stack: metrics, tracing, campaign stats.
+
+Everything here is **virtual-clock-native**: events and rates are
+stamped in the simulated kernel's nanoseconds, never wall time, so
+traces are deterministic and directly comparable with the experiments'
+virtual budgets.  The disabled default (:data:`NULL_TELEMETRY`,
+:data:`NULL_TRACER`, :data:`NULL_METRICS`) is shared, allocation-free,
+and drops everything, keeping the uninstrumented fast path unchanged.
+
+- :mod:`repro.telemetry.metrics` — counters / gauges / histograms.
+- :mod:`repro.telemetry.tracer` — spans + events, pluggable sinks.
+- :mod:`repro.telemetry.reporter` — AFL ``fuzzer_stats`` / ``plot_data``.
+- :mod:`repro.telemetry.profile` — VM opcode/libc hot-spot tables.
+"""
+
+from repro.telemetry.config import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryConfig,
+    build_telemetry,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BOUNDS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profile import HotSpot, ProfileReport
+from repro.telemetry.reporter import PLOT_HEADER, CampaignReporter
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    JSONLSink,
+    NullSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "NULL_TELEMETRY", "Telemetry", "TelemetryConfig", "build_telemetry",
+    "DEFAULT_BOUNDS", "NULL_METRICS", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry",
+    "HotSpot", "ProfileReport",
+    "PLOT_HEADER", "CampaignReporter",
+    "NULL_TRACER", "JSONLSink", "NullSink", "RingBufferSink",
+    "TraceEvent", "Tracer", "read_jsonl",
+]

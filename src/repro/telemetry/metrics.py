@@ -1,0 +1,164 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Built to sit inside the MiniVM dispatch loop and the campaign hot path:
+instruments are plain objects with ``__slots__``, updates are attribute
+increments or a bisect into a pre-computed bucket list, there are no
+locks (the whole simulator is single-threaded), and readers get an
+isolated point-in-time copy via :meth:`MetricsRegistry.snapshot` so a
+dashboard or test can never observe a half-updated series.
+
+A :data:`NULL_METRICS` registry is the disabled default: every
+instrument it hands out is a shared no-op object, so code can be
+written unconditionally (``metrics.counter("execs").inc()``) and still
+cost nothing when telemetry is off — though hot paths should prefer
+guarding on ``metrics.enabled``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+#: Default histogram bucket upper bounds (values land in the first
+#: bucket whose bound is >= value; the last bucket is +inf).  Spans the
+#: ranges we histogram by default: per-exec instruction counts and
+#: per-exec virtual ns.
+DEFAULT_BOUNDS = (
+    10, 100, 1_000, 10_000, 100_000,
+    1_000_000, 10_000_000, 100_000_000,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket ``i`` counts values ``<= bounds[i]``
+    (the final bucket is unbounded)."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name: str, bounds: tuple[int, ...] = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        self.buckets[bisect_right(self.bounds, value - 1)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: int) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: tuple[int, ...] = DEFAULT_BOUNDS) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy; later updates never mutate the result."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "bounds": h.bounds,
+                    "buckets": list(h.buckets),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+
+class _NullMetrics(MetricsRegistry):
+    """Disabled registry: hands out the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: tuple[int, ...] = DEFAULT_BOUNDS):
+        return _NULL_INSTRUMENT
+
+
+NULL_METRICS = _NullMetrics()

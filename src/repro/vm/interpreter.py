@@ -97,6 +97,8 @@ class VM:
         heap_budget: int = 64 << 20,
         max_open_files: int | None = None,
         extra_natives: dict[str, NativeFn] | None = None,
+        opcode_counts: dict[str, int] | None = None,
+        libc_counts: dict[str, int] | None = None,
     ):
         self.module = module
         self.memory = AddressSpace()
@@ -106,6 +108,12 @@ class VM:
         self.natives: dict[str, NativeFn] = dict(NATIVES)
         if extra_natives:
             self.natives.update(extra_natives)
+
+        # Optional telemetry: caller-owned per-opcode / per-libc-call
+        # count dicts (shared across VMs so profiles survive respawns).
+        # None keeps the dispatch loop on its uninstrumented path.
+        self.opcode_counts = opcode_counts
+        self.libc_counts = libc_counts
 
         self.cost = 0                       # virtual ns consumed
         self.instructions_executed = 0
@@ -265,6 +273,8 @@ class VM:
                 f"unresolved external function @{name} (link error)",
                 self.site,
             )
+        if self.libc_counts is not None:
+            self.libc_counts[name] = self.libc_counts.get(name, 0) + 1
         self.cost += NATIVE_BASE_COST.get(name, 20)
         return native(self, args, self.site)
 
@@ -278,6 +288,7 @@ class VM:
         prev_block: BasicBlock | None = None
         evaluate = self._evaluate
         limit = self.instruction_limit
+        opcode_counts = self.opcode_counts
 
         while True:
             self.site.block = block.name
@@ -295,6 +306,8 @@ class VM:
                     values[phi] = value
                 self.instructions_executed += index
                 self.cost += 5 * index
+                if opcode_counts is not None:
+                    opcode_counts["Phi"] = opcode_counts.get("Phi", 0) + index
 
             next_block: BasicBlock | None = None
             while index < len(instructions):
@@ -305,6 +318,9 @@ class VM:
                     raise ExecutionLimitExceeded(limit)
                 self.cost += _INST_COST.get(type(inst), 2)
                 cls = type(inst)
+                if opcode_counts is not None:
+                    name = cls.__name__
+                    opcode_counts[name] = opcode_counts.get(name, 0) + 1
 
                 if cls is BinOp:
                     values[inst] = self._exec_binop(inst, values)

@@ -23,6 +23,32 @@ class TestVirtualClock:
         with pytest.raises(ValueError):
             VirtualClock().advance(-1)
 
+    def test_negative_advance_leaves_clock_untouched(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        with pytest.raises(ValueError):
+            clock.advance(-50)
+        assert clock.now_ns == 100
+
+    def test_zero_advance_is_legal(self):
+        clock = VirtualClock()
+        clock.advance(0)
+        assert clock.now_ns == 0
+
+    def test_monotonic_over_many_advances(self):
+        clock = VirtualClock()
+        seen = []
+        for step in (1, 10, 0, 100, 7):
+            clock.advance(step)
+            seen.append(clock.now_ns)
+        assert seen == sorted(seen)
+        assert clock.now_ns == 118
+
+    def test_repr_shows_ns(self):
+        clock = VirtualClock()
+        clock.advance(42)
+        assert "42" in repr(clock)
+
 
 class TestCostModel:
     def test_spawn_scales_with_image(self):
@@ -119,3 +145,81 @@ class TestKernel:
         kernel = Kernel()
         pids = {kernel.spawn("p", 1).pid for _ in range(10)}
         assert len(pids) == 10
+
+
+class TestProcessRecordLifecycle:
+    def test_spawn_stamps_birth_time(self):
+        kernel = Kernel()
+        record = kernel.spawn("prog", 1_000_000)
+        # Registration happens after the spawn cost is charged, so the
+        # record's birth time equals the clock at the end of the spawn.
+        assert record.spawned_at_ns == kernel.clock.now_ns
+        assert record.ended_at_ns is None
+        assert record.exit_code is None
+
+    def test_reap_stamps_end_time_after_teardown_cost(self):
+        kernel = Kernel()
+        record = kernel.spawn("prog", 1_000_000)
+        kernel.reap(record, 3)
+        assert record.ended_at_ns == kernel.clock.now_ns
+        assert record.ended_at_ns > record.spawned_at_ns
+        assert record.exit_code == 3
+        assert record.state is ProcessState.EXITED
+
+    def test_forked_child_lifecycle_is_independent(self):
+        kernel = Kernel()
+        parent = kernel.spawn("prog", 1_000_000)
+        child = kernel.fork(parent, 1 << 20)
+        kernel.reap(child, 0)
+        assert child.state is ProcessState.EXITED
+        assert parent.state is ProcessState.RUNNING
+        assert kernel.live_process_count() == 1
+        assert child.image == parent.image
+        assert child.pid != parent.pid
+
+    def test_crash_keeps_exit_code_none(self):
+        kernel = Kernel()
+        record = kernel.spawn("prog", 1000)
+        kernel.reap(record, None, crashed=True)
+        assert record.state is ProcessState.CRASHED
+        assert record.exit_code is None
+        assert record.ended_at_ns is not None
+
+
+class TestKernelAccounting:
+    def test_spawn_teardown_ns_sum_to_clock(self):
+        """Every ns the clock advanced is attributed to a stats bucket."""
+        kernel = Kernel()
+        a = kernel.spawn("p", 500_000)
+        b = kernel.fork(a, 1 << 20)
+        kernel.charge_cow(3 * 4096)
+        kernel.reap(b, 0)
+        kernel.reap(a, 0, fresh=True)
+        stats = kernel.stats
+        assert stats.process_management_ns() == kernel.clock.now_ns
+        assert stats.spawns == 1 and stats.forks == 1 and stats.teardowns == 2
+
+    def test_teardown_ns_included_in_management(self):
+        kernel = Kernel()
+        record = kernel.spawn("p", 1000)
+        kernel.reap(record, 0)
+        assert kernel.stats.teardown_ns > 0
+        assert kernel.stats.process_management_ns() >= kernel.stats.teardown_ns
+
+    def test_respawn_cycle_accounting(self):
+        """Spawn/teardown pairs leave the process table balanced."""
+        kernel = Kernel()
+        for _ in range(5):
+            record = kernel.spawn("p", 10_000)
+            kernel.reap(record, 0, fresh=True)
+        assert kernel.stats.spawns == 5
+        assert kernel.stats.teardowns == 5
+        assert kernel.live_process_count() == 0
+        assert len(kernel.processes) == 5
+
+    def test_charge_dispatch_advances_clock_only(self):
+        kernel = Kernel()
+        before_stats = kernel.stats.process_management_ns()
+        kernel.charge_dispatch()
+        assert kernel.clock.now_ns == kernel.costs.dispatch_ns
+        assert kernel.stats.process_management_ns() == before_stats
