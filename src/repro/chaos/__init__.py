@@ -1,0 +1,23 @@
+"""Chaos plane: deterministic fault injection for robustness testing.
+
+``repro.chaos`` lets a campaign rehearse every infrastructure failure a
+production fuzzing platform must survive — spawn/fork EAGAIN, dropped
+forkserver pipes, malloc squeezes, corpus I/O errors, coverage-shm
+corruption, wedged targets — on a fixed, seed-replayable schedule.  The
+supervision layer (:mod:`repro.execution.supervised`) is the consumer
+that turns these injections into recoveries.
+"""
+
+from repro.chaos.faults import InjectedFault
+from repro.chaos.plan import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    FaultSite,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultInjector", "FaultPlan", "FaultRecord", "FaultSite", "FaultSpec",
+    "InjectedFault",
+]

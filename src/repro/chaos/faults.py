@@ -1,0 +1,32 @@
+"""Fault taxonomy for the chaos plane.
+
+An :class:`InjectedFault` models a *transient infrastructure failure* —
+the kind a production fuzzing platform shrugs off: ``fork()`` returning
+``EAGAIN`` under pid pressure, a forkserver pipe dropping mid-handshake,
+``malloc`` failing under memory squeeze, an I/O error from the corpus
+disk, a corrupted coverage shm segment.  It deliberately does **not**
+subclass :class:`repro.vm.errors.VMError`: the executors' trap
+classification must never mistake an infrastructure fault for target
+behaviour, so injected faults propagate *through* the execution layer
+untouched and are handled only by the supervision layer
+(:class:`repro.execution.supervised.SupervisedExecutor`).
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(Exception):
+    """One transient infrastructure failure fired by a fault plan."""
+
+    def __init__(self, site: str, detail: str = "", occurrence: int = 0):
+        self.site = site
+        self.detail = detail
+        self.occurrence = occurrence
+        super().__init__(
+            f"injected {site} fault"
+            + (f" ({detail})" if detail else "")
+            + f" at occurrence {occurrence}"
+        )
+
+    def __reduce__(self):
+        return (InjectedFault, (self.site, self.detail, self.occurrence))

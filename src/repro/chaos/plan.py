@@ -1,0 +1,191 @@
+"""Deterministic, seed-driven fault injection: plans and the injector.
+
+The chaos plane is *occurrence-indexed*, not time-indexed: a
+:class:`FaultSpec` says "the Nth time site S is exercised, fail once".
+Because every poll site sits on a deterministic code path (kernel spawn
+and fork, forkserver pipe handshakes, libc ``malloc``/``fopen``/
+``fread``, the supervisor's wedge/shm checks), a plan replays
+identically for a given campaign seed — injected faults land at the
+same virtual nanosecond on every run, which is what makes the chaos
+suite and the checkpoint/resume golden tests assertable.
+
+Layering: the lower layers (``sim_os``, ``vm``) never import this
+module.  They hold an optional duck-typed ``faults`` object and call
+``faults.poll("site")``; the injector returns an exception instance to
+raise (or ``None``), so all fault *construction* stays here.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import InjectedFault
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+class FaultSite(enum.Enum):
+    """Where the chaos plane can inject a failure."""
+
+    SPAWN = "spawn"        # kernel.spawn -> transient EAGAIN
+    FORK = "fork"          # kernel.fork -> transient EAGAIN
+    PIPE = "pipe"          # forkserver ctl/status pipe drop mid-handshake
+    MALLOC = "malloc"      # transient malloc NULL / heap-budget squeeze
+    FOPEN = "fopen"        # I/O error opening the test-case file
+    FREAD = "fread"        # I/O error reading the test-case file
+    SHM = "shm"            # coverage shared-memory corruption
+    WEDGE = "wedge"        # wedge the target (instruction-budget hang)
+    RESTORE = "restore"    # ClosureX state restoration failure
+
+
+#: Human-readable errno-style details per site (purely descriptive).
+_DEFAULT_DETAIL = {
+    FaultSite.SPAWN: "EAGAIN",
+    FaultSite.FORK: "EAGAIN",
+    FaultSite.PIPE: "EPIPE",
+    FaultSite.MALLOC: "ENOMEM",
+    FaultSite.FOPEN: "EIO",
+    FaultSite.FREAD: "EIO",
+    FaultSite.SHM: "shm-corrupt",
+    FaultSite.WEDGE: "wedged",
+    FaultSite.RESTORE: "restore-failed",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fire one fault the *occurrence*-th time *site* is polled (0-based)."""
+
+    site: FaultSite
+    occurrence: int
+    detail: str = ""
+
+    def resolved_detail(self) -> str:
+        return self.detail or _DEFAULT_DETAIL[self.site]
+
+
+@dataclass
+class FaultRecord:
+    """One fault that actually fired, stamped in virtual time."""
+
+    site: FaultSite
+    occurrence: int
+    detail: str
+    at_ns: int
+
+
+@dataclass
+class FaultPlan:
+    """An immutable-ish schedule of faults for one campaign."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    #: Sites a seed-generated plan draws from by default.  RESTORE is
+    #: excluded (it drives the degradation ladder and is opt-in); SHM
+    #: and WEDGE are included because every mechanism survives them.
+    DEFAULT_SITES = (
+        FaultSite.SPAWN, FaultSite.FORK, FaultSite.PIPE,
+        FaultSite.MALLOC, FaultSite.FOPEN, FaultSite.FREAD,
+        FaultSite.SHM, FaultSite.WEDGE,
+    )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_faults: int,
+        sites: tuple[FaultSite, ...] | None = None,
+        max_occurrence: int = 64,
+    ) -> "FaultPlan":
+        """Deterministically draw *n_faults* distinct (site, occurrence)
+        pairs from ``random.Random(seed)``."""
+        rng = random.Random(seed)
+        sites = sites if sites is not None else cls.DEFAULT_SITES
+        chosen: set[tuple[FaultSite, int]] = set()
+        while len(chosen) < n_faults:
+            chosen.add(
+                (rng.choice(sites), rng.randrange(max_occurrence))
+            )
+        specs = [
+            FaultSpec(site, occurrence)
+            for site, occurrence in sorted(
+                chosen, key=lambda c: (c[0].value, c[1])
+            )
+        ]
+        return cls(specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+class FaultInjector:
+    """Runtime half of the chaos plane: counts polls, fires specs.
+
+    One injector is shared by every layer of one campaign (kernel, VM,
+    supervisor).  ``poll`` is the single entry point: it advances the
+    site's occurrence counter and, if a spec is armed for exactly this
+    occurrence, consumes it and returns the :class:`InjectedFault` the
+    caller should raise (callers that model the fault differently — the
+    supervisor's wedge/shm sites — interpret the return themselves).
+    """
+
+    def __init__(self, plan: FaultPlan | None = None, clock=None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.clock = clock
+        self.telemetry: Telemetry = NULL_TELEMETRY
+        self.counters: dict[str, int] = {}
+        self.armed: dict[tuple[str, int], FaultSpec] = {
+            (spec.site.value, spec.occurrence): spec for spec in self.plan.specs
+        }
+        self.fired: list[FaultRecord] = []
+
+    def attach(self, telemetry: Telemetry, clock=None) -> None:
+        self.telemetry = telemetry
+        if clock is not None:
+            self.clock = clock
+
+    # ------------------------------------------------------------------
+
+    def poll(self, site: str | FaultSite) -> InjectedFault | None:
+        """One exercise of *site*; returns the fault to raise, if armed."""
+        name = site.value if isinstance(site, FaultSite) else site
+        occurrence = self.counters.get(name, 0)
+        self.counters[name] = occurrence + 1
+        spec = self.armed.pop((name, occurrence), None)
+        if spec is None:
+            return None
+        now_ns = self.clock.now_ns if self.clock is not None else 0
+        detail = spec.resolved_detail()
+        self.fired.append(FaultRecord(spec.site, occurrence, detail, now_ns))
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(f"chaos.injected.{name}").inc()
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.event(
+                    "chaos.inject", site=name,
+                    occurrence=occurrence, detail=detail,
+                )
+        return InjectedFault(name, detail, occurrence)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def fired_count(self) -> int:
+        return len(self.fired)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.armed)
+
+    def snapshot_state(self) -> dict:
+        """Checkpointable state (counters + what is still armed)."""
+        return {
+            "counters": dict(self.counters),
+            "armed": dict(self.armed),
+            "fired": list(self.fired),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.counters = dict(state["counters"])
+        self.armed = dict(state["armed"])
+        self.fired = list(state["fired"])

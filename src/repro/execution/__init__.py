@@ -12,6 +12,13 @@ from repro.execution.common import (
 from repro.execution.forkserver import ForkServerExecutor
 from repro.execution.fresh import FreshProcessExecutor
 from repro.execution.persistent import NaivePersistentExecutor, PollutionStats
+from repro.execution.supervised import (
+    RECOVERABLE_FAULTS,
+    QuarantineRecord,
+    SupervisedExecutor,
+    SupervisionPolicy,
+    SupervisionStats,
+)
 
 __all__ = [
     "ClosureXExecutor",
@@ -23,6 +30,11 @@ __all__ = [
     "FreshProcessExecutor",
     "NaivePersistentExecutor",
     "PollutionStats",
+    "QuarantineRecord",
+    "RECOVERABLE_FAULTS",
+    "SupervisedExecutor",
+    "SupervisionPolicy",
+    "SupervisionStats",
     "call_target",
     "classify_trap",
 ]

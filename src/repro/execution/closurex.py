@@ -14,6 +14,7 @@ from repro.execution.common import ExecResult, Executor
 from repro.ir.module import Module
 from repro.runtime.harness import ClosureXHarness, HarnessConfig
 from repro.sim_os.kernel import Kernel, ProcessRecord
+from repro.sim_os.pipes import ForkserverChannel
 from repro.vm.filesystem import VirtualFS
 
 
@@ -37,12 +38,20 @@ class ClosureXExecutor(Executor):
         self.harness: ClosureXHarness | None = None
         self.process: ProcessRecord | None = None
         self._parent: ProcessRecord | None = None
+        self.channel = ForkserverChannel(kernel)
         self.last_restore = None
 
     def boot(self) -> None:
         # As in AFL++, the persistent target runs under a forkserver
         # parent, so post-crash restarts cost a fork, not a full spawn.
+        self.channel.reset()
         self._parent = self.kernel.spawn(self.module.name, self.image_bytes)
+        try:
+            self.channel.handshake()
+        except Exception:
+            self.kernel.reap(self._parent, None, fresh=True)
+            self._parent = None
+            raise
         self.process = self.kernel.fork(self._parent, self.image_bytes)
         self._boot_harness()
 
@@ -54,7 +63,7 @@ class ClosureXExecutor(Executor):
             fs=self.fs,
             costs=self.kernel.costs,
             config=self.config,
-            vm_counters=self.vm_counters(),
+            vm_counters=self.vm_kwargs(),
         )
         vm = self.harness.boot(charge_load=charge_load)
         self.kernel.charge(vm.cost)
@@ -83,6 +92,15 @@ class ClosureXExecutor(Executor):
         self._cost_mark = vm.cost
         coverage = vm.coverage_map
         self.last_restore = iteration.restore
+
+        if self.faults is not None and iteration.restore is not None:
+            # Chaos site: the fine-grain restoration itself failed.  The
+            # persistent state can no longer be trusted, so the fault
+            # escapes (uncounted) for the supervisor's degradation
+            # ladder to handle: retry -> full respawn -> forkserver.
+            fault = self.faults.poll("restore")
+            if fault is not None:
+                raise fault
 
         if not iteration.status.survivable:
             self._respawn()

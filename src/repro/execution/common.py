@@ -10,6 +10,7 @@ persistent modes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.runtime.harness import IterationStatus
@@ -125,6 +126,9 @@ class Executor:
         self.stats = ExecutorStats()
         self.exec_instruction_limit = DEFAULT_EXEC_INSTRUCTION_LIMIT
         self.telemetry: Telemetry = NULL_TELEMETRY
+        # Optional chaos injector (``faults.poll(site)``), shared with
+        # the kernel and every VM this executor creates.
+        self.faults = None
         # Cumulative profiling dicts, shared with every VM this executor
         # creates when profiling is enabled (see vm_counters()).
         self.opcode_counts: dict[str, int] = {}
@@ -139,6 +143,35 @@ class Executor:
         kernel so process-lifecycle spans land in the same trace)."""
         self.telemetry = telemetry
         self.kernel.tracer = telemetry.tracer
+
+    def attach_faults(self, faults) -> None:
+        """Share one chaos injector with the kernel and future VMs."""
+        self.faults = faults
+        self.kernel.faults = faults
+
+    def vm_kwargs(self) -> dict:
+        """Keyword arguments every VM this executor builds should get:
+        the profiling dicts (when enabled) plus the chaos hook."""
+        kwargs = self.vm_counters()
+        if self.faults is not None:
+            kwargs["faults"] = self.faults
+        return kwargs
+
+    # -- checkpoint support ---------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Checkpointable executor state.  Process-level state (booted
+        VMs, harnesses) is deliberately excluded: a resumed executor
+        re-boots, which is semantically identical for every correct
+        mechanism because each test case starts from a fresh state."""
+        return {
+            "stats": dataclasses.replace(self.stats),
+            "exec_instruction_limit": self.exec_instruction_limit,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.stats = dataclasses.replace(state["stats"])
+        self.exec_instruction_limit = state["exec_instruction_limit"]
 
     def vm_counters(self) -> dict:
         """Keyword arguments threading the profiling dicts into a VM

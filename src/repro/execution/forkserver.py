@@ -13,6 +13,7 @@ from repro.execution.common import ExecResult, Executor, call_target
 from repro.ir.module import Module
 from repro.runtime.harness import DEFAULT_INPUT_PATH, IterationStatus
 from repro.sim_os.kernel import Kernel, ProcessRecord
+from repro.sim_os.pipes import ForkserverChannel
 from repro.vm.filesystem import VirtualFS
 from repro.vm.interpreter import VM
 
@@ -37,11 +38,14 @@ class ForkServerExecutor(Executor):
         self.entry = entry
         self.fs = VirtualFS()
         self.parent: ProcessRecord | None = None
+        self.channel = ForkserverChannel(kernel)
         self.footprint_bytes = 0
         self.last_vm: VM | None = None
 
     def boot(self) -> None:
-        """Spawn the forkserver parent and park it at ``main``."""
+        """Spawn the forkserver parent, park it at ``main``, and complete
+        the control-pipe handshake (AFL's hello exchange)."""
+        self.channel.reset()
         self.parent = self.kernel.spawn(self.module.name, self.image_bytes)
         parent_vm = VM(self.module, fs=self.fs)
         parent_vm.load()
@@ -49,6 +53,14 @@ class ForkServerExecutor(Executor):
         # The child's fork cost scales with the parent's mapped memory:
         # the binary image plus its loaded data segments.
         self.footprint_bytes = self.image_bytes + parent_vm.memory.footprint_bytes()
+        try:
+            self.channel.handshake()
+        except Exception:
+            # A dropped hello leaves no usable server behind: reap it so
+            # a supervised retry starts from a clean slate.
+            self.kernel.reap(self.parent, None, fresh=True)
+            self.parent = None
+            raise
 
     def run(self, data: bytes) -> ExecResult:
         if self.parent is None:
@@ -57,9 +69,19 @@ class ForkServerExecutor(Executor):
         start_ns = self.clock.now_ns
         self.kernel.charge_dispatch()
         child = self.kernel.fork(self.parent, self.footprint_bytes)
+        try:
+            self.channel.fork_roundtrip(child.pid)
+        except Exception:
+            # Pipe collapsed after the fork: the child is orphaned and
+            # the server is unreachable — tear both down so the next
+            # run() (or a supervised retry) re-boots from scratch.
+            self.kernel.reap(child, None)
+            self.kernel.reap(self.parent, None, fresh=True)
+            self.parent = None
+            raise
 
         self.fs.write_file(self.input_path, data)
-        vm = VM(self.module, fs=self.fs, **self.vm_counters())
+        vm = VM(self.module, fs=self.fs, **self.vm_kwargs())
         vm.load()  # inherits the parent's image: no load cost charged
         vm.instruction_limit = self.exec_instruction_limit
         argc, argv = vm.setup_argv([self.module.name, self.input_path])

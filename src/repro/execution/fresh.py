@@ -43,7 +43,7 @@ class FreshProcessExecutor(Executor):
 
         fs = VirtualFS()
         fs.write_file(self.input_path, data)
-        vm = VM(self.module, fs=fs, **self.vm_counters())
+        vm = VM(self.module, fs=fs, **self.vm_kwargs())
         vm.load()
         vm.charge(vm.load_cost)
         vm.instruction_limit = self.exec_instruction_limit

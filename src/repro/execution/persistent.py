@@ -80,7 +80,7 @@ class NaivePersistentExecutor(Executor):
         self._build_vm(charge_load=False)
 
     def _build_vm(self, charge_load: bool) -> None:
-        self.vm = VM(self.module, fs=self.fs, **self.vm_counters())
+        self.vm = VM(self.module, fs=self.fs, **self.vm_kwargs())
         self.vm.load()
         if charge_load:
             self.vm.charge(self.vm.load_cost)

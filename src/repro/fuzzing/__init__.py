@@ -6,6 +6,12 @@ from repro.fuzzing.campaign import (
     CampaignResult,
     TimelinePoint,
 )
+from repro.fuzzing.checkpoint import (
+    CheckpointError,
+    capture_state,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.fuzzing.corpus import Corpus, QueueEntry
 from repro.fuzzing.coverage import (
     VirginMap,
@@ -17,12 +23,18 @@ from repro.fuzzing.mutators import (
     HavocMutator,
     deterministic_mutations,
 )
-from repro.fuzzing.triage import CrashIdentity, CrashReport, CrashTriage
+from repro.fuzzing.triage import (
+    CrashIdentity,
+    CrashReport,
+    CrashTriage,
+    HangReport,
+)
 
 __all__ = [
     "Campaign", "CampaignConfig", "CampaignResult", "TimelinePoint",
+    "CheckpointError", "capture_state", "load_checkpoint", "save_checkpoint",
     "Corpus", "QueueEntry",
     "VirginMap", "classify", "coverage_signature", "edge_count",
     "HavocMutator", "deterministic_mutations",
-    "CrashIdentity", "CrashReport", "CrashTriage",
+    "CrashIdentity", "CrashReport", "CrashTriage", "HangReport",
 ]

@@ -13,7 +13,16 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.execution.common import ExecResult, Executor
+from repro.execution.common import (
+    DEFAULT_EXEC_INSTRUCTION_LIMIT,
+    ExecResult,
+    Executor,
+)
+from repro.fuzzing.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.fuzzing.corpus import Corpus, QueueEntry
 from repro.fuzzing.coverage import VirginMap, coverage_signature
 from repro.fuzzing.mutators import HavocMutator, deterministic_mutations
@@ -38,6 +47,18 @@ class CampaignConfig:
     havoc_base_energy: int = 48
     max_input_size: int = 1024
     timeline_samples: int = 64            # coverage/exec timeline resolution
+    # Per-test-case instruction budget (hang watchdog), applied to the
+    # executor at campaign start — AFL's -t, in instructions.
+    exec_instruction_limit: int = DEFAULT_EXEC_INSTRUCTION_LIMIT
+    # Crash-safe checkpointing: when a path is set, campaign state is
+    # atomically persisted every checkpoint_interval_ns of virtual time
+    # and Campaign.resume(path, executor) continues bit-identically.
+    checkpoint_path: str | None = None
+    checkpoint_interval_ns: int = 50_000_000
+    # Abandon the loop once the clock passes this instant (test hook
+    # modelling a fuzzer-process crash mid-campaign); None = run to the
+    # budget deadline.
+    halt_at_ns: int | None = None
     # Observability; the default is the shared null stack (zero events,
     # zero files, no measurable overhead).
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
@@ -63,8 +84,13 @@ class CampaignResult:
     edges_found: int = 0
     unique_crashes: int = 0
     total_crashes: int = 0
+    unique_hangs: int = 0
+    total_hangs: int = 0
+    recoveries: int = 0
+    quarantined_inputs: int = 0
     timeline: list[TimelinePoint] = field(default_factory=list)
     crash_reports: list = field(default_factory=list)
+    hang_reports: list = field(default_factory=list)
 
     @property
     def execs_per_second(self) -> float:
@@ -93,9 +119,13 @@ class Campaign:
         self.havoc = HavocMutator(self.rng, self.config.max_input_size)
         self.execs = 0
         self.current_entry_id = 0
+        self.run_start_ns = 0
         self._timeline: list[TimelinePoint] = []
         self._next_sample_ns = 0
         self._sample_every = max(1, self.config.budget_ns // self.config.timeline_samples)
+        self._resume_state: dict | None = None
+        self._next_checkpoint_ns: int | None = None
+        executor.exec_instruction_limit = self.config.exec_instruction_limit
         # Telemetry: the null stack unless the config opts in, in which
         # case the executor (and through it the kernel) share our tracer.
         self.telemetry = build_telemetry(self.config.telemetry, executor.clock)
@@ -110,12 +140,23 @@ class Campaign:
         return self.executor.clock
 
     def run(self) -> CampaignResult:
-        start_ns = self.clock.now_ns
+        resumed = self._resume_state is not None
+        start_ns = (
+            self._resume_state["start_ns"] if resumed else self.clock.now_ns
+        )
+        self.run_start_ns = start_ns
         deadline_ns = start_ns + self.config.budget_ns
-        sample_every = max(1, self.config.budget_ns // self.config.timeline_samples)
-        self._next_sample_ns = start_ns
-
-        self._sample_every = sample_every
+        # halt_at_ns models the fuzzer process dying mid-campaign.  The
+        # kill lands between stages — crucially *before* the periodic
+        # checkpoint that stage boundary would have written, so resume
+        # always replays from an earlier on-trajectory checkpoint.  The
+        # stages themselves always run against the true budget deadline;
+        # a halted run must not "gracefully wind down" into a state the
+        # uninterrupted run never passes through.
+        halt_ns = self.config.halt_at_ns
+        self._sample_every = max(
+            1, self.config.budget_ns // self.config.timeline_samples
+        )
         if self.telemetry.enabled:
             self.reporter = CampaignReporter(
                 self,
@@ -125,8 +166,24 @@ class Campaign:
         tracer = self.telemetry.tracer
         with tracer.span("campaign.boot", mechanism=self.executor.mechanism):
             self.executor.boot()
-        with tracer.span("stage.seed", seeds=len(self.seeds)):
-            self._seed_queue()
+        if resumed:
+            self._apply_resume_state()
+            if self.reporter is not None:
+                self.reporter.start_ns = start_ns
+        else:
+            self._next_sample_ns = start_ns
+            with tracer.span("stage.seed", seeds=len(self.seeds)):
+                self._seed_queue()
+        if self.config.checkpoint_path is not None:
+            self._next_checkpoint_ns = (
+                self.clock.now_ns + self.config.checkpoint_interval_ns
+            )
+            if not resumed:
+                # Baseline checkpoint right after seeding, so a death
+                # inside the first queue cycle (checkpoints land only on
+                # cycle boundaries, which can be virtual ms apart) still
+                # leaves something to resume from.
+                self.checkpoint()
 
         while self.clock.now_ns < deadline_ns and len(self.corpus):
             entry = self.corpus.select_next(self.rng)
@@ -145,13 +202,84 @@ class Campaign:
                 with tracer.span("stage.det", entry=entry.entry_id):
                     self._deterministic_stage(entry, deadline_ns)
                 entry.det_done = True
-            if self.clock.now_ns >= deadline_ns:
+            if self.clock.now_ns < deadline_ns:
+                with tracer.span("stage.havoc", entry=entry.entry_id):
+                    self._havoc_stage(entry, deadline_ns)
+            if halt_ns is not None and self.clock.now_ns >= halt_ns:
                 break
-            with tracer.span("stage.havoc", entry=entry.entry_id):
-                self._havoc_stage(entry, deadline_ns)
+            self._maybe_checkpoint()
 
         self.executor.shutdown()
         return self._finish(start_ns)
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: str | None = None) -> str:
+        """Atomically persist the campaign's full state; returns the path."""
+        path = path if path is not None else self.config.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured")
+        save_checkpoint(self, path)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("campaign.checkpoints").inc()
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.event(
+                    "campaign.checkpoint", execs=self.execs,
+                )
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        if (self._next_checkpoint_ns is None
+                or self.clock.now_ns < self._next_checkpoint_ns):
+            return
+        self.checkpoint()
+        self._next_checkpoint_ns = (
+            self.clock.now_ns + self.config.checkpoint_interval_ns
+        )
+
+    @classmethod
+    def resume(cls, path: str, executor: Executor,
+               config: CampaignConfig | None = None) -> "Campaign":
+        """Rebuild a campaign from a checkpoint; ``run()`` then continues
+        bit-identically to the uninterrupted run under the same seed.
+
+        *executor* must be a freshly built executor of the same
+        mechanism — its process state is re-booted, then the virtual
+        clock is pinned back to the checkpointed instant.
+        """
+        state = load_checkpoint(path)
+        if executor.mechanism != state["mechanism"]:
+            raise CheckpointError(
+                f"checkpoint is for mechanism {state['mechanism']!r}, "
+                f"got {executor.mechanism!r}"
+            )
+        if config is None:
+            config = CampaignConfig(
+                budget_ns=state["budget_ns"], seed=state["seed"]
+            )
+        campaign = cls(executor, seeds=[], config=config)
+        campaign._resume_state = state
+        return campaign
+
+    def _apply_resume_state(self) -> None:
+        """Install checkpointed state after the executor has re-booted."""
+        state = self._resume_state
+        assert state is not None
+        self.corpus = state["corpus"]
+        self.virgin = state["virgin"]
+        self.triage = state["triage"]
+        self.execs = state["execs"]
+        self.current_entry_id = state["current_entry_id"]
+        self.rng.setstate(state["rng_state"])
+        self._timeline = list(state["timeline"])
+        self._next_sample_ns = state["next_sample_ns"]
+        self.executor.restore_state(state["executor_state"])
+        # Pin the clock back to the checkpointed instant so the re-boot
+        # we just paid does not shift the continuation off the original
+        # timeline — this is what makes resume bit-identical.
+        self.clock.now_ns = state["clock_ns"]
 
     # ------------------------------------------------------------------
 
@@ -247,6 +375,10 @@ class Campaign:
         self.execs += 1
         if result.is_crash and result.trap is not None:
             self.triage.record(result.trap, data, self.clock.now_ns)
+        elif result.is_hang:
+            self.triage.record_hang(
+                coverage_signature(result.coverage), data, self.clock.now_ns
+            )
         self._maybe_sample(self._sample_every)
         if self.reporter is not None:
             self.reporter.maybe_update()
@@ -268,6 +400,7 @@ class Campaign:
         if self.reporter is not None:
             self.reporter.finalize()
         self.telemetry.flush()
+        supervision = getattr(self.executor, "supervision", None)
         return CampaignResult(
             mechanism=self.executor.mechanism,
             execs=self.execs,
@@ -277,6 +410,13 @@ class Campaign:
             edges_found=self.virgin.edges_found(),
             unique_crashes=self.triage.unique_count,
             total_crashes=self.triage.total_crashes,
+            unique_hangs=self.triage.unique_hang_count,
+            total_hangs=self.triage.total_hangs,
+            recoveries=supervision.recoveries if supervision else 0,
+            quarantined_inputs=(
+                supervision.quarantined_inputs if supervision else 0
+            ),
             timeline=self._timeline,
             crash_reports=self.triage.reports(),
+            hang_reports=self.triage.hang_reports(),
         )

@@ -1,0 +1,94 @@
+"""Crash-safe campaign checkpoint/resume.
+
+A long campaign must survive the death of the *fuzzer* process, not
+just the target's.  The checkpoint captures everything the campaign
+loop's future depends on — corpus entries with their scheduling
+metadata, the virgin coverage map, the triage dedup tables, the
+mutator RNG state, the virtual clock, and the executor's cumulative
+stats — so ``Campaign.resume(path, executor)`` continues **bit-
+identically** to a run that was never interrupted: the RNG replays the
+same mutation stream, the clock re-enters at the same virtual
+nanosecond, and the corpus scheduler picks the same entries.
+
+Durability: the file is written with the classic tmp + fsync +
+``os.replace`` dance, so a crash mid-checkpoint leaves the previous
+checkpoint intact — there is never a moment with no valid checkpoint
+on disk.
+
+Executor process state (booted VMs, harness snapshots) is *not*
+serialised: on resume the executor re-boots and the clock is then
+pinned back to the checkpointed instant.  For every correct mechanism
+this is exact — each test case starts from fresh-process state by
+construction — and it keeps checkpoints small and mechanism-agnostic.
+(The naive persistent executor's cross-input pollution is the one
+thing resume cannot reconstruct; that mechanism is broken by design.)
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_MAGIC = b"RPRCKPT1"
+
+
+class CheckpointError(RuntimeError):
+    """Unreadable, truncated, or incompatible checkpoint file."""
+
+
+def capture_state(campaign) -> dict:
+    """One consistent snapshot of everything resume needs."""
+    executor = campaign.executor
+    return {
+        "version": CHECKPOINT_VERSION,
+        "mechanism": executor.mechanism,
+        "seed": campaign.config.seed,
+        "budget_ns": campaign.config.budget_ns,
+        "start_ns": campaign.run_start_ns,
+        "clock_ns": campaign.clock.now_ns,
+        "execs": campaign.execs,
+        "current_entry_id": campaign.current_entry_id,
+        "rng_state": campaign.rng.getstate(),
+        "corpus": campaign.corpus,
+        "virgin": campaign.virgin,
+        "triage": campaign.triage,
+        "timeline": list(campaign._timeline),
+        "next_sample_ns": campaign._next_sample_ns,
+        "executor_state": executor.snapshot_state(),
+    }
+
+
+def save_checkpoint(campaign, path: str) -> None:
+    """Atomically persist *campaign*'s state to *path*."""
+    payload = CHECKPOINT_MAGIC + pickle.dumps(
+        capture_state(campaign), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`."""
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {error}")
+    if not payload.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError(f"{path!r} is not a campaign checkpoint")
+    try:
+        state = pickle.loads(payload[len(CHECKPOINT_MAGIC):])
+    except Exception as error:  # truncated/corrupt pickle stream
+        raise CheckpointError(f"corrupt checkpoint {path!r}: {error}")
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {state.get('version')} != {CHECKPOINT_VERSION}"
+        )
+    return state

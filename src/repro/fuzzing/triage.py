@@ -6,10 +6,16 @@ with the ground truth our VM can actually provide.  The targets'
 planted-bug manifests map trap sites back to stable bug ids so the
 time-to-bug experiment (Table 7) can report per-bug first-discovery
 times.
+
+Hangs get their own dedup bucket (AFL's ``hangs/`` directory): a
+hang has no trap site, so its identity is a digest of the coverage
+signature the wedged execution produced — two inputs spinning in the
+same loop collapse into one report.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.vm.errors import TrapKind, VMTrap
@@ -42,12 +48,30 @@ class CrashReport:
         )
 
 
+@dataclass
+class HangReport:
+    """First occurrence of one deduplicated hang (AFL's ``hangs/``)."""
+
+    signature_digest: str
+    input_data: bytes
+    found_at_ns: int
+    occurrences: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"hang [{self.signature_digest}] "
+            f"(first at {self.found_at_ns / 1e9:.3f} vs)"
+        )
+
+
 class CrashTriage:
-    """Collects and deduplicates crashes during a campaign."""
+    """Collects and deduplicates crashes (and hangs) during a campaign."""
 
     def __init__(self) -> None:
         self.unique: dict[CrashIdentity, CrashReport] = {}
         self.total_crashes = 0
+        self.unique_hangs: dict[str, HangReport] = {}
+        self.total_hangs = 0
 
     def record(self, trap: VMTrap, input_data: bytes, now_ns: int) -> CrashReport | None:
         """Record a crash; returns the report if it is a *new* bug."""
@@ -61,12 +85,32 @@ class CrashTriage:
         self.unique[identity] = report
         return report
 
+    def record_hang(self, coverage_signature: bytes, input_data: bytes,
+                    now_ns: int) -> HangReport | None:
+        """Record a hang-classified input; returns the report if new."""
+        self.total_hangs += 1
+        digest = hashlib.sha1(coverage_signature).hexdigest()[:16]
+        existing = self.unique_hangs.get(digest)
+        if existing is not None:
+            existing.occurrences += 1
+            return None
+        report = HangReport(digest, input_data, now_ns)
+        self.unique_hangs[digest] = report
+        return report
+
     @property
     def unique_count(self) -> int:
         return len(self.unique)
 
+    @property
+    def unique_hang_count(self) -> int:
+        return len(self.unique_hangs)
+
     def reports(self) -> list[CrashReport]:
         return sorted(self.unique.values(), key=lambda r: r.found_at_ns)
+
+    def hang_reports(self) -> list[HangReport]:
+        return sorted(self.unique_hangs.values(), key=lambda r: r.found_at_ns)
 
     def first_hit_ns(self, identity: CrashIdentity) -> int | None:
         report = self.unique.get(identity)

@@ -1,4 +1,4 @@
-"""Simulated OS: virtual time, processes, fork/CoW cost accounting."""
+"""Simulated OS: virtual time, processes, pipes, fork/CoW accounting."""
 
 from repro.sim_os.costs import DEFAULT_COSTS, PAGE_SIZE, CostModel
 from repro.sim_os.kernel import (
@@ -8,8 +8,15 @@ from repro.sim_os.kernel import (
     ProcessState,
     VirtualClock,
 )
+from repro.sim_os.pipes import (
+    FORKSRV_HELLO,
+    ForkserverChannel,
+    PipeBroken,
+    SimPipe,
+)
 
 __all__ = [
     "DEFAULT_COSTS", "PAGE_SIZE", "CostModel",
     "Kernel", "KernelStats", "ProcessRecord", "ProcessState", "VirtualClock",
+    "FORKSRV_HELLO", "ForkserverChannel", "PipeBroken", "SimPipe",
 ]

@@ -44,6 +44,12 @@ class CostModel:
     # write the test case, signal the target, read the status.
     dispatch_ns: int = 3_200
 
+    # Forkserver control-pipe protocol (AFL's ctl/status fd pair): the
+    # one-time hello exchange at boot and the per-fork write/read round
+    # trip.  Small next to fork_base_ns, as on a real kernel.
+    pipe_handshake_ns: int = 2_400
+    pipe_roundtrip_ns: int = 900
+
     # Persistent-loop mechanics.
     loop_iteration_ns: int = 140                 # __AFL_LOOP bookkeeping
     setjmp_ns: int = 60

@@ -71,6 +71,8 @@ class KernelStats:
     spawns: int = 0
     forks: int = 0
     teardowns: int = 0
+    failed_spawns: int = 0
+    failed_forks: int = 0
     spawn_ns: int = 0
     fork_ns: int = 0
     cow_ns: int = 0
@@ -85,13 +87,23 @@ class Kernel:
 
     def __init__(self, costs: CostModel | None = None,
                  clock: VirtualClock | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 faults=None):
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.clock = clock if clock is not None else VirtualClock()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Optional chaos hook (duck-typed: ``faults.poll(site)`` returns
+        # an exception instance to raise, or None).  The kernel never
+        # imports repro.chaos — the injection plane stays above it.
+        self.faults = faults
         self.stats = KernelStats()
         self.processes: dict[int, ProcessRecord] = {}
         self._pids = itertools.count(1000)
+
+    def _poll_fault(self, site: str):
+        if self.faults is not None:
+            return self.faults.poll(site)
+        return None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -99,6 +111,13 @@ class Kernel:
               parent_pid: int | None = None) -> ProcessRecord:
         """fork+exec a fresh process: the slowest mechanism's unit cost."""
         cost = self.costs.spawn_cost(image_bytes)
+        fault = self._poll_fault("spawn")
+        if fault is not None:
+            # A transient EAGAIN still burns the attempt's time.
+            self.clock.advance(cost)
+            self.stats.failed_spawns += 1
+            self.stats.spawn_ns += cost
+            raise fault
         self.clock.advance(cost)
         self.stats.spawns += 1
         self.stats.spawn_ns += cost
@@ -113,6 +132,12 @@ class Kernel:
     def fork(self, parent: ProcessRecord, footprint_bytes: int) -> ProcessRecord:
         """fork() from a forkserver parent; cost scales with its footprint."""
         cost = self.costs.fork_cost(footprint_bytes)
+        fault = self._poll_fault("fork")
+        if fault is not None:
+            self.clock.advance(cost)
+            self.stats.failed_forks += 1
+            self.stats.fork_ns += cost
+            raise fault
         self.clock.advance(cost)
         self.stats.forks += 1
         self.stats.fork_ns += cost

@@ -1,0 +1,140 @@
+"""Simulated forkserver control pipes (AFL's ctl/status fd pair).
+
+A real AFL++ forkserver talks to the fuzzer over two pipes: at boot the
+server writes a four-byte hello the fuzzer must read and acknowledge
+(the *handshake*), and per test case the fuzzer writes a "go" word and
+reads back the child pid and, later, its wait status (the *round
+trip*).  Both operations can fail transiently in production — a
+half-dead server, an fd squeeze, a signal mid-``read`` — and the
+fuzzer must treat that as "respawn the server", never as target
+behaviour.
+
+This module models exactly that surface.  :class:`SimPipe` is a byte
+channel with an explicit ``broken`` state; :class:`ForkserverChannel`
+implements the handshake / round-trip protocol on top of two pipes,
+charges the cost model for every exchange, and — like the kernel —
+polls an optional duck-typed ``faults`` object so the chaos plane can
+drop the pipe at a scheduled occurrence.  A drop surfaces as
+:class:`PipeBroken` (or the injector's own exception), which the
+supervision layer converts into a server respawn rather than a
+campaign abort.
+"""
+
+from __future__ import annotations
+
+from repro.sim_os.costs import DEFAULT_COSTS, CostModel
+
+#: The forkserver's hello word ("FORK" little-endian), standing in for
+#: AFL's FS_OPT version/option magic.
+FORKSRV_HELLO = 0x4B524F46
+
+
+class PipeBroken(Exception):
+    """Read or write on a pipe whose other end is gone (EPIPE)."""
+
+    def __init__(self, detail: str = "EPIPE"):
+        self.site = "pipe"
+        self.detail = detail
+        super().__init__(f"broken pipe: {detail}")
+
+
+class SimPipe:
+    """One unidirectional byte channel between fuzzer and forkserver."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.broken = False
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> None:
+        if self.broken:
+            raise PipeBroken("write on broken pipe")
+        self.buffer.extend(data)
+        self.bytes_written += len(data)
+
+    def read(self, size: int) -> bytes:
+        if self.broken:
+            raise PipeBroken("read on broken pipe")
+        if len(self.buffer) < size:
+            # A short read from a control pipe means the peer died.
+            raise PipeBroken(f"short read: wanted {size}, had {len(self.buffer)}")
+        data = bytes(self.buffer[:size])
+        del self.buffer[:size]
+        return data
+
+    def sever(self) -> None:
+        """The peer end vanished; all further I/O raises."""
+        self.broken = True
+        self.buffer.clear()
+
+
+class ForkserverChannel:
+    """The fuzzer<->forkserver control protocol over a ctl/status pair.
+
+    *kernel* supplies the virtual clock, the cost model, and the
+    optional chaos ``faults`` hook; the channel never spawns anything
+    itself — executors sequence ``handshake()`` after spawning the
+    server and ``fork_roundtrip()`` around each ``kernel.fork``.
+    """
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.ctl = SimPipe()      # fuzzer -> server
+        self.status = SimPipe()   # server -> fuzzer
+        self.established = False
+        self.handshakes = 0
+        self.roundtrips = 0
+
+    @property
+    def costs(self) -> CostModel:
+        return getattr(self.kernel, "costs", DEFAULT_COSTS)
+
+    def _poll_fault(self):
+        faults = getattr(self.kernel, "faults", None)
+        if faults is not None:
+            return faults.poll("pipe")
+        return None
+
+    def handshake(self) -> None:
+        """Boot-time hello exchange; raises on a dropped pipe."""
+        self.kernel.charge(self.costs.pipe_handshake_ns)
+        fault = self._poll_fault()
+        if fault is not None:
+            # The server died (or the pipe collapsed) mid-hello: the
+            # fuzzer sees a short read and must respawn the server.
+            self.status.sever()
+            self.ctl.sever()
+            self.established = False
+            raise fault
+        self.status.write(FORKSRV_HELLO.to_bytes(4, "little"))
+        hello = int.from_bytes(self.status.read(4), "little")
+        if hello != FORKSRV_HELLO:
+            raise PipeBroken(f"bad hello 0x{hello:08x}")
+        self.ctl.write(hello.to_bytes(4, "little"))
+        self.ctl.read(4)  # server consumes the ack
+        self.established = True
+        self.handshakes += 1
+
+    def fork_roundtrip(self, child_pid: int) -> int:
+        """Per-test-case go/pid exchange; returns the child pid read back."""
+        if not self.established:
+            raise PipeBroken("roundtrip before handshake")
+        self.kernel.charge(self.costs.pipe_roundtrip_ns)
+        fault = self._poll_fault()
+        if fault is not None:
+            self.status.sever()
+            self.ctl.sever()
+            self.established = False
+            raise fault
+        self.ctl.write(b"\x00\x00\x00\x00")          # "go" word
+        self.ctl.read(4)                             # server consumes it
+        self.status.write(child_pid.to_bytes(4, "little"))
+        pid = int.from_bytes(self.status.read(4), "little")
+        self.roundtrips += 1
+        return pid
+
+    def reset(self) -> None:
+        """Fresh pipes for a respawned server (old fds are closed)."""
+        self.ctl = SimPipe()
+        self.status = SimPipe()
+        self.established = False

@@ -67,7 +67,8 @@ class CampaignReporter:
             )
         else:
             stability = 100.0
-        return {
+        supervision = getattr(executor, "supervision", None)
+        stats = {
             "start_time": f"{self.start_ns / 1e9:.6f}",
             "last_update": f"{campaign.clock.now_ns / 1e9:.6f}",
             "run_time": f"{elapsed_ns / 1e9:.6f}",
@@ -87,7 +88,8 @@ class CampaignReporter:
             "max_depth": max((e.depth for e in entries), default=0),
             "unique_crashes": campaign.triage.unique_count,
             "total_crashes": campaign.triage.total_crashes,
-            "unique_hangs": executor.stats.hangs,
+            "unique_hangs": campaign.triage.unique_hang_count,
+            "total_hangs": campaign.triage.total_hangs,
             "respawns": executor.stats.respawns,
             "edges_found": edges,
             "map_density": f"{100.0 * edges / COVERAGE_MAP_SIZE:.2f}%",
@@ -95,6 +97,12 @@ class CampaignReporter:
             "target_mode": executor.mechanism,
             "command_line": f"repro-fuzz --mechanism {executor.mechanism}",
         }
+        if supervision is not None:
+            stats["recoveries"] = supervision.recoveries
+            stats["retries"] = supervision.retries
+            stats["quarantined"] = supervision.quarantined_inputs
+            stats["degradations"] = supervision.degradations
+        return stats
 
     # ------------------------------------------------------------------
     # periodic update protocol (virtual-time driven)

@@ -77,6 +77,12 @@ class VMTrap(VMError):
         """Deduplication key: same kind at the same site is one bug."""
         return (self.kind, self.site.function, self.site.block)
 
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the
+        # formatted message only; crash reports inside campaign
+        # checkpoints need the real (kind, message, site) triple.
+        return (VMTrap, (self.kind, self.message, self.site))
+
 
 class ProcessExit(VMError):
     """Target invoked ``exit(code)`` — process-level termination."""

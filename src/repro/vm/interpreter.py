@@ -99,8 +99,13 @@ class VM:
         extra_natives: dict[str, NativeFn] | None = None,
         opcode_counts: dict[str, int] | None = None,
         libc_counts: dict[str, int] | None = None,
+        faults=None,
     ):
         self.module = module
+        # Optional chaos hook (``faults.poll(site)`` -> exception | None)
+        # consulted by the malloc/fopen/fread natives; None keeps those
+        # paths at one attribute check.
+        self.faults = faults
         self.memory = AddressSpace()
         self.heap = Heap(self.memory, heap_budget)
         self.fs = fs if fs is not None else VirtualFS()

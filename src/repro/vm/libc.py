@@ -132,7 +132,21 @@ def declare_libc(module: Module, names: list[str] | None = None) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _poll_fault(vm: "VM", fault_site: str) -> None:
+    """Chaos hook: raise an injected transient failure if one is armed.
+
+    The raised exception is *not* a VMError, so it escapes the
+    executors' trap classification and reaches the supervision layer
+    as an infrastructure fault, never as target behaviour.
+    """
+    if vm.faults is not None:
+        fault = vm.faults.poll(fault_site)
+        if fault is not None:
+            raise fault
+
+
 def _native_malloc(vm: "VM", args: list[int], site: CrashSite) -> int:
+    _poll_fault(vm, "malloc")
     size = _as_signed64(args[0])
     return vm.heap.malloc(size, site)
 
@@ -231,6 +245,7 @@ def _native_atoi(vm: "VM", args: list[int], site: CrashSite) -> int:
 
 
 def _native_fopen(vm: "VM", args: list[int], site: CrashSite) -> int:
+    _poll_fault(vm, "fopen")
     path = vm.memory.read_cstring(args[0], site).decode("latin-1")
     mode = vm.memory.read_cstring(args[1], site).decode("latin-1")
     return vm.fd_table.fopen(path, mode, site)
@@ -241,6 +256,7 @@ def _native_fclose(vm: "VM", args: list[int], site: CrashSite) -> int:
 
 
 def _native_fread(vm: "VM", args: list[int], site: CrashSite) -> int:
+    _poll_fault(vm, "fread")
     buf, size, count, handle = args
     file = vm.fd_table.get(handle, site)
     total = _as_signed64(size) * _as_signed64(count)

@@ -1,0 +1,223 @@
+"""Tests for crash-safe campaign checkpoint/resume.
+
+The golden test is the tentpole's acceptance criterion: kill a campaign
+mid-run, resume from its last checkpoint with a freshly built executor,
+and the continuation must be bit-identical to a run that was never
+interrupted — same execs, same corpus, same crashes, same timeline,
+same final virtual clock.
+"""
+
+import os
+
+import pytest
+
+from repro.execution import ForkServerExecutor, SupervisedExecutor
+from repro.chaos import FaultInjector, FaultPlan
+from repro.fuzzing import (
+    Campaign,
+    CampaignConfig,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.fuzzing.checkpoint import CHECKPOINT_MAGIC
+from repro.minic import compile_c
+from repro.passes import PassManager, baseline_passes
+from repro.sim_os import Kernel
+
+SOURCE = r"""
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    char buf[16];
+    long n = fread(buf, 1, 16, f);
+    if (n < 1) { exit(2); }
+    char *scratch = (char*)malloc(16);
+    scratch[0] = buf[0];
+    if (buf[0] == 'X' && n > 4) {
+        int *p = NULL;
+        *p = 1;
+    }
+    fclose(f);
+    free(scratch);
+    return (int)n;
+}
+"""
+
+IMAGE = 400_000
+BUDGET_NS = 40_000_000
+
+
+def _module():
+    module = compile_c(SOURCE, "ckpt-test")
+    PassManager(baseline_passes(11)).run(module)
+    return module
+
+
+def _executor():
+    return ForkServerExecutor(_module(), IMAGE, Kernel())
+
+
+def _campaign(config):
+    return Campaign(_executor(), seeds=[b"hello", b"Xseed"], config=config)
+
+
+def _fingerprint(campaign, result):
+    """Everything 'bit-identical' means for a finished campaign."""
+    return {
+        "execs": result.execs,
+        "elapsed_ns": result.elapsed_ns,
+        "edges": result.edges_found,
+        "unique_crashes": result.unique_crashes,
+        "total_crashes": result.total_crashes,
+        "corpus": [
+            (e.data, e.coverage_signature, e.favored, e.times_selected)
+            for e in campaign.corpus.entries
+        ],
+        "crash_identities": [r.identity for r in result.crash_reports],
+        "timeline": [
+            (p.ns, p.execs, p.edges, p.unique_crashes)
+            for p in result.timeline
+        ],
+        "clock_ns": campaign.clock.now_ns,
+        "rng": campaign.rng.getstate(),
+    }
+
+
+class TestCheckpointFile:
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = str(tmp_path / "ckpt" / "campaign.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+        state = load_checkpoint(path)
+        assert state["mechanism"] == "forkserver"
+        assert state["seed"] == 1
+
+    def test_overwrite_keeps_file_valid(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        campaign.execs = 99
+        save_checkpoint(campaign, path)
+        assert load_checkpoint(path)["execs"] == 99
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_truncated_raises(self, tmp_path):
+        good = tmp_path / "good.ckpt"
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, str(good))
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(good.read_bytes()[: len(CHECKPOINT_MAGIC) + 10])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(bad))
+
+    def test_mechanism_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        from repro.execution import FreshProcessExecutor
+        wrong = FreshProcessExecutor(_module(), IMAGE, Kernel())
+        with pytest.raises(CheckpointError):
+            Campaign.resume(path, wrong)
+
+
+class TestResume:
+    def test_resume_is_bit_identical(self, tmp_path):
+        """The golden test: uninterrupted vs killed-and-resumed."""
+        uninterrupted = _campaign(
+            CampaignConfig(budget_ns=BUDGET_NS, seed=7)
+        )
+        golden = _fingerprint(uninterrupted, uninterrupted.run())
+
+        path = str(tmp_path / "campaign.ckpt")
+        halted = _campaign(
+            CampaignConfig(
+                budget_ns=BUDGET_NS, seed=7,
+                checkpoint_path=path,
+                checkpoint_interval_ns=4_000_000,
+                halt_at_ns=BUDGET_NS * 6 // 10,   # "the process dies here"
+            )
+        )
+        halted.run()
+        assert os.path.exists(path)
+
+        resumed = Campaign.resume(path, _executor())
+        replay = _fingerprint(resumed, resumed.run())
+        assert replay == golden
+
+    def test_resume_continues_not_restarts(self, tmp_path):
+        path = str(tmp_path / "campaign.ckpt")
+        halted = _campaign(
+            CampaignConfig(
+                budget_ns=BUDGET_NS, seed=3,
+                checkpoint_path=path,
+                checkpoint_interval_ns=4_000_000,
+                halt_at_ns=BUDGET_NS // 2,
+            )
+        )
+        halted.run()
+        execs_at_checkpoint = load_checkpoint(path)["execs"]
+        assert execs_at_checkpoint > 0
+
+        resumed = Campaign.resume(path, _executor())
+        result = resumed.run()
+        # The continuation picks up the counter, it does not reset it.
+        assert result.execs > execs_at_checkpoint
+        assert result.elapsed_ns >= BUDGET_NS
+
+    def test_periodic_checkpoints_written_during_run(self, tmp_path):
+        path = str(tmp_path / "campaign.ckpt")
+        campaign = _campaign(
+            CampaignConfig(
+                budget_ns=20_000_000, seed=5,
+                checkpoint_path=path,
+                checkpoint_interval_ns=2_000_000,
+            )
+        )
+        campaign.run()
+        state = load_checkpoint(path)
+        # The last periodic checkpoint predates the end of the run.
+        assert 0 < state["clock_ns"] <= campaign.clock.now_ns
+        assert state["execs"] <= campaign.execs
+
+    def test_supervised_checkpoint_restores_chaos_state(self, tmp_path):
+        """A supervised executor's quarantine, supervision counters and
+        injector occurrence counters all travel with the checkpoint."""
+        path = str(tmp_path / "sup.ckpt")
+        kernel = Kernel()
+        inner = ForkServerExecutor(_module(), IMAGE, kernel)
+        injector = FaultInjector(
+            FaultPlan.generate(9, 6), clock=kernel.clock
+        )
+        executor = SupervisedExecutor(inner, injector=injector)
+        config = CampaignConfig(
+            budget_ns=20_000_000, seed=9,
+            checkpoint_path=path, checkpoint_interval_ns=2_000_000,
+        )
+        campaign = Campaign(executor, seeds=[b"hello"], config=config)
+        campaign.run()
+        state = load_checkpoint(path)
+
+        kernel2 = Kernel()
+        inner2 = ForkServerExecutor(_module(), IMAGE, kernel2)
+        injector2 = FaultInjector(
+            FaultPlan.generate(9, 6), clock=kernel2.clock
+        )
+        executor2 = SupervisedExecutor(inner2, injector=injector2)
+        resumed = Campaign.resume(path, executor2)
+        resumed.run()
+        # The injector resumed from the checkpointed occurrence
+        # counters rather than from zero.
+        for site, count in state["executor_state"]["injector"]["counters"].items():
+            assert injector2.counters.get(site, 0) >= count

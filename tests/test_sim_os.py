@@ -4,9 +4,13 @@ import pytest
 
 from repro.sim_os import (
     DEFAULT_COSTS,
+    FORKSRV_HELLO,
     CostModel,
+    ForkserverChannel,
     Kernel,
+    PipeBroken,
     ProcessState,
+    SimPipe,
     VirtualClock,
 )
 
@@ -223,3 +227,94 @@ class TestKernelAccounting:
         kernel.charge_dispatch()
         assert kernel.clock.now_ns == kernel.costs.dispatch_ns
         assert kernel.stats.process_management_ns() == before_stats
+
+
+class _OneShotPipeFault:
+    """Duck-typed stand-in for the chaos injector (sim_os never
+    imports repro.chaos, so neither does its test double)."""
+
+    def __init__(self, at_occurrence=0):
+        self.at_occurrence = at_occurrence
+        self.polls = 0
+
+    def poll(self, site):
+        occurrence = self.polls
+        self.polls += 1
+        if site == "pipe" and occurrence == self.at_occurrence:
+            return PipeBroken("injected drop")
+        return None
+
+
+class TestSimPipe:
+    def test_write_then_read(self):
+        pipe = SimPipe()
+        pipe.write(b"abcd")
+        assert pipe.read(4) == b"abcd"
+        assert pipe.bytes_written == 4
+
+    def test_short_read_means_dead_peer(self):
+        pipe = SimPipe()
+        pipe.write(b"ab")
+        with pytest.raises(PipeBroken):
+            pipe.read(4)
+
+    def test_severed_pipe_raises_both_ways(self):
+        pipe = SimPipe()
+        pipe.sever()
+        with pytest.raises(PipeBroken):
+            pipe.write(b"x")
+        with pytest.raises(PipeBroken):
+            pipe.read(1)
+
+
+class TestForkserverChannel:
+    def test_handshake_establishes_and_charges(self):
+        kernel = Kernel()
+        channel = ForkserverChannel(kernel)
+        channel.handshake()
+        assert channel.established
+        assert channel.handshakes == 1
+        assert kernel.clock.now_ns == kernel.costs.pipe_handshake_ns
+
+    def test_roundtrip_echoes_child_pid(self):
+        kernel = Kernel()
+        channel = ForkserverChannel(kernel)
+        channel.handshake()
+        assert channel.fork_roundtrip(4321) == 4321
+        assert channel.roundtrips == 1
+
+    def test_roundtrip_before_handshake_is_protocol_error(self):
+        channel = ForkserverChannel(Kernel())
+        with pytest.raises(PipeBroken):
+            channel.fork_roundtrip(1)
+
+    def test_injected_drop_severs_handshake(self):
+        kernel = Kernel(faults=_OneShotPipeFault(at_occurrence=0))
+        channel = ForkserverChannel(kernel)
+        with pytest.raises(PipeBroken):
+            channel.handshake()
+        assert not channel.established
+        assert channel.ctl.broken and channel.status.broken
+        # The time the failed handshake took is still charged.
+        assert kernel.clock.now_ns == kernel.costs.pipe_handshake_ns
+
+    def test_injected_drop_severs_roundtrip(self):
+        kernel = Kernel(faults=_OneShotPipeFault(at_occurrence=1))
+        channel = ForkserverChannel(kernel)
+        channel.handshake()
+        with pytest.raises(PipeBroken):
+            channel.fork_roundtrip(7)
+        assert not channel.established
+
+    def test_reset_gives_fresh_pipes_for_respawn(self):
+        kernel = Kernel(faults=_OneShotPipeFault(at_occurrence=0))
+        channel = ForkserverChannel(kernel)
+        with pytest.raises(PipeBroken):
+            channel.handshake()
+        channel.reset()
+        channel.handshake()  # fault was one-shot; the respawn succeeds
+        assert channel.established
+        assert channel.fork_roundtrip(99) == 99
+
+    def test_hello_word_is_fork_magic(self):
+        assert FORKSRV_HELLO.to_bytes(4, "little") == b"FORK"
