@@ -4,12 +4,18 @@
 Compiles a small C target, then applies RenameMainPass, ExitPass,
 HeapPass, FilePass, and GlobalPass one at a time, printing what each
 did and the relevant IR fragments before/after — the textual version of
-the paper's transformation figures.
+the paper's transformation figures.  The module is re-verified (strict
+SSA) after every pass, and the static analysis engine gets the last
+word: a lint report and the pollution classification of the result.
 
 Run:  python examples/pass_playground.py
 """
 
+import sys
+
+from repro.analysis import analyze_pollution, lint_module
 from repro.ir import Call, print_function
+from repro.ir.verifier import VerificationError, verify_module
 from repro.minic import compile_c
 from repro.passes import (
     CoveragePass,
@@ -61,6 +67,22 @@ def banner(title):
     print(f"\n{'=' * 64}\n{title}\n{'=' * 64}")
 
 
+def run_verified(pass_, module):
+    """Run one pass, then re-verify the module under strict SSA —
+    printing every verifier diagnostic instead of a bare traceback if
+    the pass broke an invariant."""
+    result = pass_.run(module)
+    print(result)
+    try:
+        verify_module(module, strict_ssa=True)
+    except VerificationError as failure:
+        print(f"VERIFIER: {pass_.name} left the module invalid:")
+        for error in failure.errors:
+            print(f"  - {error}")
+        sys.exit(1)
+    return result
+
+
 def main():
     module = compile_c(SOURCE, "playground")
 
@@ -69,37 +91,42 @@ def main():
     print("calls into libc:", call_targets(module))
     print("global sections:", section_map(module))
 
+    banner("Pollution classification of the raw target")
+    print(analyze_pollution(module).describe())
+
     banner("RenameMainPass (paper Table 3, row 1)")
-    result = RenameMainPass().run(module)
-    print(result)
+    run_verified(RenameMainPass(), module)
     print("entry point is now:",
           [f.name for f in module.defined_functions()])
 
     banner("ExitPass — exit() becomes a longjmp back to the harness")
-    result = ExitPass().run(module)
-    print(result)
+    run_verified(ExitPass(), module)
     print("calls now:", call_targets(module))
 
     banner("HeapPass — malloc family rerouted through the chunk map")
-    result = HeapPass().run(module)
-    print(result)
+    run_verified(HeapPass(), module)
     print("calls now:", call_targets(module))
 
     banner("FilePass — fopen/fclose rerouted through the handle map")
-    result = FilePass().run(module)
-    print(result)
+    run_verified(FilePass(), module)
     print("calls now:", call_targets(module))
 
     banner("GlobalPass (Figure 3) — writable globals change section")
-    result = GlobalPass().run(module)
-    print(result)
+    run_verified(GlobalPass(), module)
     for name, section in section_map(module).items():
         marker = "->" if section == "closure_global_section" else "  "
         print(f"  {marker} {name:12s} {section}")
 
     banner("CoveragePass — every block gets a guard")
-    result = CoveragePass(seed=1).run(module)
-    print(result)
+    run_verified(CoveragePass(seed=1), module)
+
+    banner("Lint report for the instrumented module")
+    diagnostics = lint_module(module)
+    if diagnostics:
+        for diagnostic in diagnostics:
+            print(" ", diagnostic.describe())
+    else:
+        print("  clean: no diagnostics")
 
     banner("The instrumented entry point, in full")
     print(print_function(module.get_function("target_main")))

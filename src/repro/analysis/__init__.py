@@ -1,0 +1,71 @@
+"""Static analysis over MiniIR: dataflow, summaries, pollution, lint.
+
+The package layers on top of :mod:`repro.ir` (never the other way
+around — the IR stays import-light):
+
+- :mod:`repro.analysis.dataflow` — generic worklist solver plus
+  liveness, reaching definitions, and def-use chains.
+- :mod:`repro.analysis.callgraph` — interprocedural call graph and
+  per-function mod/ref + escape summaries.
+- :mod:`repro.analysis.pollution` — the ClosureX pollution classifier:
+  which of the four state dimensions (heap, file, global, exit) a
+  target can touch, consumed by the pass pipeline and the runtime
+  harness to elide provably-unnecessary work.
+- :mod:`repro.analysis.lint` — diagnostic lint rules with structured
+  severities for CI gating.
+"""
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionSummary,
+    known_extern_names,
+    summarise_module,
+)
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Liveness,
+    ReachingDefinitions,
+    alloca_slots,
+    def_use_chains,
+    live_values,
+    reaching_stores,
+    stores_reaching,
+    unused_definitions,
+)
+from repro.analysis.lint import Diagnostic, Linter, Severity, lint_module
+from repro.analysis.pollution import (
+    DIMENSION_PASSES,
+    DIMENSIONS,
+    DimensionFinding,
+    PollutionAnalyzer,
+    PollutionReport,
+    analyze_pollution,
+)
+
+__all__ = [
+    "CallGraph",
+    "FunctionSummary",
+    "known_extern_names",
+    "summarise_module",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "Liveness",
+    "ReachingDefinitions",
+    "alloca_slots",
+    "def_use_chains",
+    "live_values",
+    "reaching_stores",
+    "stores_reaching",
+    "unused_definitions",
+    "Diagnostic",
+    "Linter",
+    "Severity",
+    "lint_module",
+    "DIMENSION_PASSES",
+    "DIMENSIONS",
+    "DimensionFinding",
+    "PollutionAnalyzer",
+    "PollutionReport",
+    "analyze_pollution",
+]

@@ -1,0 +1,70 @@
+"""Lint gate over the built-in targets: ``python -m repro.analysis``.
+
+For every registered target this runs, on both the raw module and the
+full ClosureX build:
+
+- the structural verifier in strict-SSA mode, and
+- the full lint rule set,
+
+then prints a one-line pollution summary per target.  The process
+exits non-zero if any target fails verification or produces an
+error-severity diagnostic — warnings are reported but tolerated.  CI
+runs this as the ``lint-targets`` job.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lint import Linter, Severity
+from repro.analysis.pollution import PollutionAnalyzer
+from repro.ir.verifier import VerificationError, verify_module
+from repro.targets import all_targets
+
+
+def check_module(label: str, module) -> tuple[int, int]:
+    """Verify + lint one module; returns (errors, warnings)."""
+    errors = 0
+    warnings = 0
+    try:
+        verify_module(module, strict_ssa=True)
+    except VerificationError as failure:
+        for message in failure.errors:
+            print(f"  error: [verifier] {label}: {message}")
+        errors += len(failure.errors)
+    linter = Linter(module)
+    for diagnostic in linter.run():
+        print(f"  {diagnostic.describe()}  [{label}]")
+        if diagnostic.severity is Severity.ERROR:
+            errors += 1
+        else:
+            warnings += 1
+    return errors, warnings
+
+
+def main() -> int:
+    total_errors = 0
+    total_warnings = 0
+    for spec in all_targets():
+        raw = spec.compile()
+        report = PollutionAnalyzer(
+            raw, extra_allocators=spec.extra_allocators
+        ).run()
+        clean = ",".join(report.clean_dimensions()) or "-"
+        print(f"{spec.name}: clean=[{clean}] "
+              f"modified_globals={len(report.modified_globals)}"
+              f"{'' if report.trusted_globals else ' (untrusted)'}")
+        for label, module in (
+            ("raw", raw),
+            ("closurex", spec.build_closurex()),
+        ):
+            errors, warnings = check_module(f"{spec.name}/{label}", module)
+            total_errors += errors
+            total_warnings += warnings
+    print(f"\nlint-targets: {total_errors} error(s), "
+          f"{total_warnings} warning(s) across {len(all_targets())} targets")
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

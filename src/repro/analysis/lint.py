@@ -1,0 +1,175 @@
+"""Diagnostic linter for MiniIR targets.
+
+Where the verifier answers "is this module structurally valid?", the
+linter answers "is this module *suspicious*?" — the class of smells
+that are legal IR but usually indicate a broken target or a buggy
+pass.  Diagnostics are structured :class:`Diagnostic` records with a
+severity, so CI can fail on errors while tolerating warnings, and
+``describe()`` renders them for humans.
+
+Rules:
+
+``dead-block`` (warning)
+    A block unreachable from the entry block.
+``unused-def`` (warning)
+    A non-void, non-call instruction whose result is never used.
+``use-before-def`` (error)
+    A value whose definition does not dominate a use (the strict SSA
+    invariant, shared with the verifier's ``strict_ssa`` mode).
+``undeclared-global`` (error)
+    A store through a global that is not registered in the module's
+    symbol table — it would never be snapshotted or relocated.
+``unknown-extern`` (error)
+    A call to a declared-only function the VM cannot link.
+``ignored-result`` (error)
+    A call to an allocation-returning extern (``malloc`` family,
+    ``fopen``) whose result is dropped: the allocated state leaks
+    outside any tracked root.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import known_extern_names
+from repro.ir import cfg
+from repro.ir.instructions import Call, Cast, GetElementPtr, Instruction, Store
+from repro.ir.module import Function, Module
+from repro.ir.values import GlobalVariable
+from repro.ir.verifier import Verifier
+
+#: Externs whose return value *is* the allocated state: dropping it
+#: leaks a heap chunk or a FILE handle.
+ALLOCATING_EXTERNS = frozenset({"malloc", "calloc", "realloc", "fopen"})
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    severity: Severity
+    rule: str
+    function: str
+    message: str
+    block: str | None = None
+
+    def describe(self) -> str:
+        where = f"@{self.function}"
+        if self.block is not None:
+            where += f":%{self.block}"
+        return f"{self.severity.value}: [{self.rule}] {where}: {self.message}"
+
+
+class Linter:
+    """Run every lint rule over a module's defined functions."""
+
+    def __init__(self, module: Module, known_externs: frozenset[str] | None = None):
+        self.module = module
+        self.known_externs = (
+            known_externs if known_externs is not None else known_extern_names()
+        )
+        self.diagnostics: list[Diagnostic] = []
+
+    def run(self) -> list[Diagnostic]:
+        self.diagnostics = []
+        for function in self.module.defined_functions():
+            self._lint_function(function)
+        return self.diagnostics
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def report(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    # -- rules ----------------------------------------------------------
+
+    def _lint_function(self, function: Function) -> None:
+        self._rule_dead_blocks(function)
+        self._rule_unused_defs(function)
+        self._rule_use_before_def(function)
+        for inst in function.instructions():
+            if isinstance(inst, Store):
+                self._rule_undeclared_global(function, inst)
+            elif isinstance(inst, Call):
+                self._rule_calls(function, inst)
+
+    def _rule_dead_blocks(self, function: Function) -> None:
+        reachable = cfg.reachable_blocks(function)
+        for block in function.blocks:
+            if block not in reachable:
+                self.report(Diagnostic(
+                    Severity.WARNING, "dead-block", function.name,
+                    "block is unreachable from the entry block",
+                    block=block.name,
+                ))
+
+    def _rule_unused_defs(self, function: Function) -> None:
+        for inst in function.instructions():
+            if inst.type.is_void or inst.num_uses:
+                continue
+            if isinstance(inst, Call):
+                continue  # calls have effects; ignored results get their own rule
+            self.report(Diagnostic(
+                Severity.WARNING, "unused-def", function.name,
+                f"result of '{inst}' is never used",
+                block=inst.parent.name if inst.parent else None,
+            ))
+
+    def _rule_use_before_def(self, function: Function) -> None:
+        # The strict-SSA dominance check is shared with the verifier so
+        # the two can never disagree about what "use before def" means.
+        checker = Verifier(self.module, strict_ssa=True)
+        checker._check_dominance(function)
+        for message in checker.errors:
+            self.report(Diagnostic(
+                Severity.ERROR, "use-before-def", function.name, message,
+            ))
+
+    def _rule_undeclared_global(self, function: Function, store: Store) -> None:
+        target = store.ptr
+        while isinstance(target, (GetElementPtr, Cast)):
+            target = target.base if isinstance(target, GetElementPtr) else target.value
+        if not isinstance(target, GlobalVariable):
+            return
+        if self.module.globals.get(target.name) is not target:
+            self.report(Diagnostic(
+                Severity.ERROR, "undeclared-global", function.name,
+                f"store to @{target.name}, which is not registered in the "
+                f"module symbol table",
+                block=store.parent.name if store.parent else None,
+            ))
+
+    def _rule_calls(self, function: Function, call: Call) -> None:
+        callee = call.callee
+        if not isinstance(callee, Function) or not callee.is_declaration:
+            return
+        block = call.parent.name if call.parent else None
+        if callee.name not in self.known_externs:
+            self.report(Diagnostic(
+                Severity.ERROR, "unknown-extern", function.name,
+                f"call to extern @{callee.name}, which the VM cannot link",
+                block=block,
+            ))
+        if callee.name in ALLOCATING_EXTERNS and call.num_uses == 0:
+            self.report(Diagnostic(
+                Severity.ERROR, "ignored-result", function.name,
+                f"result of @{callee.name} call is dropped: the allocated "
+                f"state escapes all tracked roots",
+                block=block,
+            ))
+
+
+def lint_module(module: Module,
+                known_externs: frozenset[str] | None = None) -> list[Diagnostic]:
+    """Run the linter; returns the (possibly empty) diagnostic list."""
+    return Linter(module, known_externs).run()

@@ -1,0 +1,246 @@
+"""Pollution classifier: which process state can a target touch?
+
+ClosureX's passes rewrite every target blindly; the paper's insight is
+that correctness only requires tracking the state a target can actually
+pollute.  The :class:`PollutionAnalyzer` makes that knowledge explicit:
+it runs the interprocedural summary engine of
+:mod:`repro.analysis.callgraph` and classifies the module along the
+four ClosureX state dimensions —
+
+- ``heap``   — reachable call to the malloc family (HeapPass),
+- ``file``   — reachable call to the FILE API (FilePass),
+- ``global`` — reachable store that may land in a named global
+  (GlobalPass),
+- ``exit``   — reachable call to ``exit`` (ExitPass).
+
+The resulting :class:`PollutionReport` names, per dimension, whether it
+is dirty and why; pipelines consume :meth:`PollutionReport.skip_passes`
+to elide instrumentation that is provably unnecessary, and the runtime
+harness consumes :meth:`PollutionReport.is_clean` to skip the matching
+sweeps and shrink the snapshot scope.  Everything is conservative: any
+fact the analysis cannot prove (an unknown extern, a store through an
+untraceable pointer) dirties the affected dimensions, so a *clean*
+verdict is a proof.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionSummary,
+    summarise_module,
+)
+from repro.ir.module import Module
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+#: The four ClosureX state dimensions, in pipeline order.
+DIMENSIONS = ("heap", "file", "global", "exit")
+
+#: dimension -> the pass that becomes unnecessary when it is clean.
+DIMENSION_PASSES = {
+    "heap": "HeapPass",
+    "file": "FilePass",
+    "global": "GlobalPass",
+    "exit": "ExitPass",
+}
+
+
+@dataclass(frozen=True)
+class DimensionFinding:
+    """Verdict for one state dimension."""
+
+    dimension: str
+    dirty: bool
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.dirty
+
+
+@dataclass
+class PollutionReport:
+    """Per-target pollution classification (the analyzer's output)."""
+
+    module_name: str
+    entry: str
+    findings: dict[str, DimensionFinding] = field(default_factory=dict)
+    #: Writable globals the target may store to (meaningful only when
+    #: ``trusted_globals`` — no unknown-provenance stores survived).
+    modified_globals: frozenset[str] = frozenset()
+    #: False when an unknown store/extern forced the analyzer to assume
+    #: every writable global is modified.
+    trusted_globals: bool = True
+    reachable_functions: frozenset[str] = frozenset()
+    analysis_wall_ns: int = 0
+
+    def finding(self, dimension: str) -> DimensionFinding:
+        return self.findings[dimension]
+
+    def is_clean(self, dimension: str) -> bool:
+        return self.findings[dimension].clean
+
+    def clean_dimensions(self) -> tuple[str, ...]:
+        return tuple(d for d in DIMENSIONS if self.findings[d].clean)
+
+    def dirty_dimensions(self) -> tuple[str, ...]:
+        return tuple(d for d in DIMENSIONS if self.findings[d].dirty)
+
+    def skip_passes(self) -> set[str]:
+        """Pass names whose instrumentation this target provably does
+        not need."""
+        return {DIMENSION_PASSES[d] for d in self.clean_dimensions()}
+
+    def describe(self) -> str:
+        lines = [f"pollution report for {self.module_name!r} (entry @{self.entry})"]
+        for dimension in DIMENSIONS:
+            finding = self.findings[dimension]
+            verdict = "DIRTY" if finding.dirty else "clean"
+            lines.append(f"  {dimension:<6} {verdict}")
+            for reason in finding.reasons:
+                lines.append(f"         - {reason}")
+        if self.findings["global"].dirty:
+            scope = (
+                f"{len(self.modified_globals)} modified globals"
+                if self.trusted_globals else "all writable globals (untrusted)"
+            )
+            lines.append(f"  snapshot scope: {scope}")
+        return "\n".join(lines)
+
+
+class PollutionAnalyzer:
+    """Classify a module's pollution along the ClosureX dimensions.
+
+    Run on the *raw* (pre-instrumentation) module: *entry* defaults to
+    ``main``, the entry point before the RenameMainPass.  Analysis
+    timing is recorded into the optional telemetry *metrics*/*tracer*.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        entry: str = "main",
+        extra_allocators: dict[str, str] | None = None,
+        metrics: MetricsRegistry = NULL_METRICS,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.module = module
+        self.entry = entry
+        self.extra_allocators = dict(extra_allocators or {})
+        self.metrics = metrics
+        self.tracer = tracer
+
+    def run(self) -> PollutionReport:
+        wall_start = time.perf_counter_ns()
+        graph, summaries = summarise_module(
+            self.module, self.entry, self.extra_allocators
+        )
+        reachable = graph.reachable_from(self.entry)
+        report = self._classify(graph, summaries, reachable)
+        report.analysis_wall_ns = time.perf_counter_ns() - wall_start
+        if self.metrics.enabled:
+            self.metrics.counter("analysis.pollution_runs").inc()
+            self.metrics.histogram("analysis.pollution_wall_ns").observe(
+                report.analysis_wall_ns
+            )
+            self.metrics.gauge("analysis.last_clean_dimensions").set(
+                len(report.clean_dimensions())
+            )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "analysis.pollution",
+                module=self.module.name,
+                entry=self.entry,
+                wall_ns=report.analysis_wall_ns,
+                clean=",".join(report.clean_dimensions()) or "<none>",
+            )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _classify(self, graph: CallGraph, summaries: dict[str, FunctionSummary],
+                  reachable: set[str]) -> PollutionReport:
+        reasons: dict[str, list[str]] = {d: [] for d in DIMENSIONS}
+        modified: set[str] = set()
+        trusted = True
+
+        if self.entry not in graph.edges:
+            # No defined entry point: nothing is reachable, nothing can
+            # be proven about runtime behaviour — stay conservative.
+            for dimension in DIMENSIONS:
+                reasons[dimension].append(
+                    f"entry @{self.entry} is not a defined function"
+                )
+            trusted = False
+
+        for name in sorted(reachable):
+            summary = summaries[name]
+            if summary.calls_heap:
+                reasons["heap"].append(f"@{name} calls the malloc family")
+            if summary.calls_file:
+                reasons["file"].append(f"@{name} calls the FILE API")
+            if summary.calls_exit:
+                reasons["exit"].append(f"@{name} can reach exit()")
+            if summary.calls_unknown_extern:
+                externs = ", ".join(sorted(summary.unknown_externs))
+                for dimension in DIMENSIONS:
+                    reasons[dimension].append(
+                        f"@{name} calls unknown extern(s): {externs}"
+                    )
+                trusted = False
+            if summary.modified_globals:
+                modified |= summary.modified_globals
+                shown = ", ".join(sorted(summary.modified_globals))
+                reasons["global"].append(f"@{name} stores to {shown}")
+            if summary.escaped_globals:
+                # Address taken: assume whoever holds it may write.
+                modified |= summary.escaped_globals
+                shown = ", ".join(sorted(summary.escaped_globals))
+                reasons["global"].append(f"@{name} leaks the address of {shown}")
+            if summary.stores_unknown:
+                reasons["global"].append(
+                    f"@{name} stores through an untraceable pointer"
+                )
+                trusted = False
+
+        writable = {n for n, g in self.module.globals.items() if not g.is_constant}
+        if not trusted:
+            modified = set(writable)
+        else:
+            # Constants cannot be modified even if the tracer saw a
+            # store root land on one (it cannot, but stay defensive).
+            modified &= writable
+
+        findings = {
+            dimension: DimensionFinding(
+                dimension, dirty=bool(reasons[dimension]),
+                reasons=tuple(reasons[dimension][:8]),
+            )
+            for dimension in ("heap", "file", "exit")
+        }
+        findings["global"] = DimensionFinding(
+            "global", dirty=bool(modified) or bool(reasons["global"]),
+            reasons=tuple(reasons["global"][:8]),
+        )
+        return PollutionReport(
+            module_name=self.module.name,
+            entry=self.entry,
+            findings=findings,
+            modified_globals=frozenset(modified),
+            trusted_globals=trusted,
+            reachable_functions=frozenset(reachable),
+        )
+
+
+def analyze_pollution(module: Module, entry: str = "main",
+                      extra_allocators: dict[str, str] | None = None,
+                      metrics: MetricsRegistry = NULL_METRICS,
+                      tracer: Tracer = NULL_TRACER) -> PollutionReport:
+    """Convenience wrapper around :class:`PollutionAnalyzer`."""
+    return PollutionAnalyzer(
+        module, entry, extra_allocators, metrics=metrics, tracer=tracer
+    ).run()

@@ -24,6 +24,10 @@ class BasicBlock:
         self.parent = parent
         self.instructions: list[Instruction] = []
 
+    def _touch_cfg(self) -> None:
+        if self.parent is not None:
+            self.parent.invalidate_cfg()
+
     @property
     def terminator(self) -> Instruction | None:
         if self.instructions and self.instructions[-1].is_terminator:
@@ -39,16 +43,19 @@ class BasicBlock:
             raise ValueError(f"block {self.name} is already terminated")
         inst.parent = self
         self.instructions.append(inst)
+        self._touch_cfg()
         return inst
 
     def insert(self, index: int, inst: Instruction) -> Instruction:
         inst.parent = self
         self.instructions.insert(index, inst)
+        self._touch_cfg()
         return inst
 
     def remove_instruction(self, inst: Instruction) -> None:
         self.instructions.remove(inst)
         inst.parent = None
+        self._touch_cfg()
 
     def successors(self) -> list["BasicBlock"]:
         term = self.terminator
@@ -81,6 +88,21 @@ class Function(GlobalValue):
         self.args: list[Argument] = []
         self._next_value_id = 0
         self._next_block_id = 0
+        #: Monotonic mutation counter.  Any structural change (block or
+        #: instruction insertion/removal) bumps it; ``repro.ir.cfg``
+        #: keys its per-function caches on this, so derived CFG facts
+        #: (predecessors, reachability, dominators) are recomputed only
+        #: after a real mutation.
+        self.cfg_epoch = 0
+
+    def invalidate_cfg(self) -> None:
+        """Invalidate cached CFG-derived analyses for this function.
+
+        Called automatically by block/instruction mutation; call it
+        explicitly after retargeting a terminator in place (e.g.
+        assigning ``br.target``), which the IR cannot observe.
+        """
+        self.cfg_epoch += 1
 
     @property
     def is_declaration(self) -> bool:
@@ -116,11 +138,13 @@ class Function(GlobalValue):
     def append_block(self, name: str = "") -> BasicBlock:
         block = BasicBlock(self._unique_block_name(name), self)
         self.blocks.append(block)
+        self.invalidate_cfg()
         return block
 
     def insert_block_after(self, existing: BasicBlock, name: str = "") -> BasicBlock:
         block = BasicBlock(self._unique_block_name(name), self)
         self.blocks.insert(self.blocks.index(existing) + 1, block)
+        self.invalidate_cfg()
         return block
 
     def _unique_block_name(self, hint: str) -> str:

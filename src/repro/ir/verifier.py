@@ -3,13 +3,25 @@
 Passes are required to leave modules in a verifiable state; the test
 suite runs the verifier after every transformation, which is how we
 catch pass bugs early (LLVM's ``-verify`` discipline).
+
+Two strictness levels:
+
+- **structural** (always on): symbol-table consistency, terminator
+  placement, phi/predecessor agreement, operand sanity, and a linear
+  layout-order use-before-def check.
+- **strict SSA** (``strict_ssa=True``): every value defined in a block
+  must *dominate* each of its uses — the real SSA invariant, checked
+  with the cached dominator tree from :mod:`repro.ir.cfg`.  Phi uses
+  are checked at the end of the corresponding incoming edge, as in
+  LLVM.  The pass manager enables this by default, so every pipeline
+  run in the tests enforces defs-dominate-uses.
 """
 
 from __future__ import annotations
 
 from repro.ir import cfg
 from repro.ir.instructions import Call, Instruction, Phi
-from repro.ir.module import Function, Module
+from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.values import Argument, Constant, GlobalValue, Value
 
 
@@ -24,8 +36,9 @@ class VerificationError(Exception):
 class Verifier:
     """Collects structural errors over a module."""
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, strict_ssa: bool = False):
         self.module = module
+        self.strict_ssa = strict_ssa
         self.errors: list[str] = []
 
     def error(self, message: str) -> None:
@@ -66,6 +79,8 @@ class Verifier:
         preds = cfg.predecessors(function)
         for block in function.blocks:
             self._check_block(function, block, defined, preds)
+        if self.strict_ssa:
+            self._check_dominance(function)
 
     def _check_block(self, function, block, defined: set[int], preds) -> None:
         where = f"@{function.name}:%{block.name}"
@@ -115,9 +130,64 @@ class Verifier:
                         f"{where}: call to @{callee.name} not registered in its module"
                     )
 
+    # -- strict SSA: defs must dominate uses -----------------------------
 
-def verify_module(module: Module) -> None:
-    """Raise :class:`VerificationError` if *module* is malformed."""
-    errors = Verifier(module).run()
+    def _check_dominance(self, function: Function) -> None:
+        tree = cfg.dominator_tree(function)
+        position: dict[int, int] = {}
+        for block in function.blocks:
+            for i, inst in enumerate(block.instructions):
+                position[id(inst)] = i
+        for block in function.blocks:
+            if not tree.is_reachable(block):
+                continue
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    self._check_phi_dominance(function, tree, position, block, inst)
+                    continue
+                for index, op in enumerate(inst.operands):
+                    if not isinstance(op, Instruction):
+                        continue
+                    if not self._def_dominates_use(tree, position, op, inst):
+                        self.error(
+                            f"@{function.name}:%{block.name}: operand {index} of "
+                            f"'{inst}' is not dominated by its definition "
+                            f"'{op.ref()}'"
+                        )
+
+    def _check_phi_dominance(self, function: Function, tree, position,
+                             block: BasicBlock, phi: Phi) -> None:
+        # A phi use is a use at the *end* of the incoming edge: the
+        # definition must dominate the incoming block's terminator.
+        for value, pred in phi.incoming():
+            if not isinstance(value, Instruction):
+                continue
+            def_block = value.parent
+            if def_block is None or not tree.dominates(def_block, pred):
+                self.error(
+                    f"@{function.name}:%{block.name}: phi '{phi.ref()}' incoming "
+                    f"value '{value.ref()}' from %{pred.name} is not dominated "
+                    f"by its definition"
+                )
+
+    @staticmethod
+    def _def_dominates_use(tree, position, definition: Instruction,
+                           use: Instruction) -> bool:
+        def_block = definition.parent
+        use_block = use.parent
+        if def_block is None or use_block is None:
+            return False
+        if def_block is use_block:
+            return position[id(definition)] < position[id(use)]
+        return tree.strictly_dominates(def_block, use_block)
+
+
+def verify_module(module: Module, strict_ssa: bool = False) -> None:
+    """Raise :class:`VerificationError` if *module* is malformed.
+
+    With ``strict_ssa=True`` the verifier additionally enforces the SSA
+    dominance invariant (defs dominate uses) over reachable blocks.
+    """
+    errors = Verifier(module, strict_ssa=strict_ssa).run()
     if errors:
         raise VerificationError(errors)

@@ -13,6 +13,8 @@ from repro.passes.pipelines import (
     closurex_passes,
     closurex_pipeline,
     persistent_passes,
+    pollution_aware_passes,
+    pollution_aware_pipeline,
 )
 from repro.passes.rename_main import TARGET_MAIN, RenameMainPass
 
@@ -25,5 +27,6 @@ __all__ = [
     "HEAP_WRAPPERS", "HeapPass",
     "PASS_TABLE", "baseline_passes", "baseline_pipeline",
     "closurex_passes", "closurex_pipeline", "persistent_passes",
+    "pollution_aware_passes", "pollution_aware_pipeline",
     "TARGET_MAIN", "RenameMainPass",
 ]

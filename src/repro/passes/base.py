@@ -69,9 +69,12 @@ class PassManager:
     """
 
     def __init__(self, passes: list[ModulePass], verify_each: bool = True,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None, strict_ssa: bool = True):
         self.passes = list(passes)
         self.verify_each = verify_each
+        # Verify the SSA dominance invariant after every pass: passes
+        # must never produce a def that fails to dominate a use.
+        self.strict_ssa = strict_ssa
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.results: list[PassResult] = []
 
@@ -92,7 +95,7 @@ class PassManager:
                     **{f"rewrites.{k}": v for k, v in result.details.items()},
                 )
             if self.verify_each:
-                verify_module(module)
+                verify_module(module, strict_ssa=self.strict_ssa)
         return self.results
 
     def result_for(self, pass_name: str) -> PassResult:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from repro.ir import cfg
 from repro.ir.instructions import Call, Phi
 from repro.ir.module import Module
 from repro.ir.types import FunctionType, I32, VOID
@@ -45,7 +46,15 @@ class CoveragePass(ModulePass):
         for function in module.defined_functions():
             if function.name == COV_GUARD:
                 continue
+            # Stats only — every block still gets a guard, in layout
+            # order, so the seeded id sequence (and thus edge ids) stays
+            # identical across builds that share a seed.
+            reachable = cfg.reachable_blocks(function)
             for block in function.blocks:
+                if block not in reachable:
+                    result.details["unreachable_blocks"] = (
+                        result.details.get("unreachable_blocks", 0) + 1
+                    )
                 if _already_instrumented(block, guard):
                     continue
                 location = rng.randrange(COVERAGE_MAP_SIZE)

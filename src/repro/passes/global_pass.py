@@ -9,7 +9,11 @@ and snapshots/restores it bytewise around each test case.
 
 Keeping truly constant data (string literals, lookup tables) out of the
 section keeps the per-iteration copy small — that is the pass's whole
-performance point.
+performance point.  The optional *restrict_to* set (from a trusted
+:class:`repro.analysis.pollution.PollutionReport`) pushes the idea one
+step further: writable globals the target provably never modifies stay
+in their default section, shrinking the snapshot to the state that can
+actually change.
 """
 
 from __future__ import annotations
@@ -23,8 +27,14 @@ CLOSURE_GLOBAL_SECTION = "closure_global_section"
 class GlobalPass(ModulePass):
     name = "GlobalPass"
 
-    def __init__(self, section: str = CLOSURE_GLOBAL_SECTION):
+    def __init__(self, section: str = CLOSURE_GLOBAL_SECTION,
+                 restrict_to: set[str] | None = None):
         self.section = section
+        # When set, only these writable globals are relocated.  Callers
+        # must pass a *proven* modified-set (PollutionReport with
+        # trusted_globals) — an under-approximation here breaks restore
+        # correctness.
+        self.restrict_to = restrict_to
 
     def run(self, module: Module) -> PassResult:
         result = PassResult(self.name)
@@ -32,6 +42,11 @@ class GlobalPass(ModulePass):
             if var.is_constant:
                 result.details["constants_skipped"] = (
                     result.details.get("constants_skipped", 0) + 1
+                )
+                continue
+            if self.restrict_to is not None and var.name not in self.restrict_to:
+                result.details["globals_elided"] = (
+                    result.details.get("globals_elided", 0) + 1
                 )
                 continue
             if var.section != self.section:

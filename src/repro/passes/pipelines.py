@@ -5,16 +5,25 @@
   instrumentation.
 - :func:`baseline_pipeline` — what an AFL++ build gets: coverage
   instrumentation only; process management is the executor's job.
+- :func:`pollution_aware_pipeline` — ClosureX instrumentation guided by
+  the static pollution classifier: passes for provably-untouched state
+  dimensions are elided, and with a trusted report the GlobalPass
+  relocates only the globals the target can actually modify.
 
-Both pipelines take the *same* coverage seed so the baseline and
+All pipelines take the *same* coverage seed so the baseline and
 ClosureX builds of a target share identical edge ids, keeping coverage
-numbers directly comparable (paper §5.3).
+numbers directly comparable (paper §5.3).  Skipping non-coverage passes
+cannot perturb edge ids: those passes never add or remove basic blocks,
+so the seeded id sequence is unchanged.
 """
 
 from __future__ import annotations
 
+from repro.analysis.pollution import PollutionAnalyzer, PollutionReport
 from repro.ir.module import Module
 from repro.passes.base import ModulePass, PassManager, PassResult
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.passes.coverage import CoveragePass
 from repro.passes.exit_pass import ExitPass
 from repro.passes.file_pass import FilePass
@@ -65,6 +74,37 @@ def persistent_passes(coverage_seed: int | None = None) -> list[ModulePass]:
     return [RenameMainPass(), CoveragePass(coverage_seed)]
 
 
+def pollution_aware_passes(
+    report: PollutionReport,
+    coverage_seed: int | None = None,
+    extra_allocators: dict[str, str] | None = None,
+) -> list[ModulePass]:
+    """The ClosureX pipeline minus the passes *report* proves unnecessary.
+
+    A clean dimension elides its pass outright; when the report's
+    modified-globals set is trusted (no unknown-provenance stores), the
+    GlobalPass additionally relocates only the globals the target can
+    modify, shrinking the per-iteration snapshot.
+    """
+    skip = report.skip_passes()
+    if report.trusted_globals:
+        global_pass = GlobalPass(restrict_to=set(report.modified_globals))
+    else:
+        global_pass = GlobalPass()
+    passes: list[ModulePass] = []
+    for pass_ in (
+        RenameMainPass(),
+        ExitPass(),
+        HeapPass(extra_allocators=extra_allocators),
+        FilePass(),
+        global_pass,
+    ):
+        if pass_.name not in skip:
+            passes.append(pass_)
+    passes.append(CoveragePass(coverage_seed))
+    return passes
+
+
 def closurex_pipeline(
     module: Module,
     coverage_seed: int | None = None,
@@ -80,3 +120,31 @@ def baseline_pipeline(module: Module, coverage_seed: int | None = None) -> list[
     """Instrument *module* in place for baseline (AFL++) execution."""
     manager = PassManager(baseline_passes(coverage_seed))
     return manager.run(module)
+
+
+def pollution_aware_pipeline(
+    module: Module,
+    coverage_seed: int | None = None,
+    extra_allocators: dict[str, str] | None = None,
+    report: PollutionReport | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+    tracer: Tracer = NULL_TRACER,
+) -> tuple[list[PassResult], PollutionReport]:
+    """Analyze then instrument *module* in place, eliding proven-clean passes.
+
+    Runs the :class:`PollutionAnalyzer` on the raw module (unless a
+    pre-computed *report* is supplied), builds the reduced pipeline, and
+    returns both the pass results and the report so callers can hand it
+    on to the runtime harness (which uses it to skip the matching
+    restore sweeps).
+    """
+    if report is None:
+        report = PollutionAnalyzer(
+            module, extra_allocators=extra_allocators,
+            metrics=metrics, tracer=tracer,
+        ).run()
+    manager = PassManager(
+        pollution_aware_passes(report, coverage_seed, extra_allocators),
+        tracer=tracer,
+    )
+    return manager.run(module), report

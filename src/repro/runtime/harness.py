@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.analysis.pollution import PollutionReport
 from repro.ir.module import Function, Module
 from repro.passes.global_pass import CLOSURE_GLOBAL_SECTION
 from repro.passes.rename_main import TARGET_MAIN
@@ -75,6 +76,11 @@ class HarnessConfig:
     max_open_files: int | None = None
     deferred_init_functions: tuple[str, ...] = ()
     rewind_init_handles: bool = True         # paper's fseek optimisation
+    #: Static pollution classification of the target (from
+    #: TargetSpec.build_analyzed / pollution_aware_pipeline).  A clean
+    #: dimension lets restore_state skip the matching sweep entirely —
+    #: the analysis *proved* the sweep can never find anything.
+    pollution: PollutionReport | None = None
 
 
 @dataclass
@@ -290,25 +296,36 @@ class ClosureXHarness:
             raise RuntimeError("harness not booted")
         vm = self.vm
         report = RestoreReport()
+        pollution = self.config.pollution
+        skip_heap = pollution is not None and pollution.is_clean("heap")
+        skip_fd = pollution is not None and pollution.is_clean("file")
 
         # 1. Heap: free every chunk the target leaked (Figure 5 C).
-        for chunk in self.chunk_map.sweep():
-            vm.heap.free(chunk.address, vm.site)
-            report.leaked_chunks += 1
-            report.leaked_bytes += chunk.size
+        #    Proven heap-clean targets never allocate after init (and
+        #    init-phase chunks are never swept), so the walk is elided.
+        if not skip_heap:
+            for chunk in self.chunk_map.sweep():
+                vm.heap.free(chunk.address, vm.site)
+                report.leaked_chunks += 1
+                report.leaked_bytes += chunk.size
 
         # 2. File handles: close leaked ones, rewind init-phase ones.
-        to_close, to_rewind = self.fd_tracker.sweep()
-        for record in to_close:
-            vm.fd_table.fclose(record.handle, vm.site)
-            report.closed_fds += 1
-        if self.config.rewind_init_handles:
-            for record in to_rewind:
-                file = vm.fd_table.get(record.handle, vm.site)
-                vm.fd_table.fseek(file, 0, 0)
-                report.rewound_fds += 1
+        if not skip_fd:
+            to_close, to_rewind = self.fd_tracker.sweep()
+            for record in to_close:
+                vm.fd_table.fclose(record.handle, vm.site)
+                report.closed_fds += 1
+            if self.config.rewind_init_handles:
+                for record in to_rewind:
+                    file = vm.fd_table.get(record.handle, vm.site)
+                    vm.fd_table.fseek(file, 0, 0)
+                    report.rewound_fds += 1
 
         # 3. Globals: copy the ground-truth snapshot back (Figure 4).
+        #    A global-clean target has an empty (or absent) section, so
+        #    this is free there anyway; dirty targets with a trusted
+        #    report got a *smaller* section from the restricted
+        #    GlobalPass, which is where the byte savings come from.
         report.section_bytes = self.snapshot.restore()
 
         # 4. Address-cursor rewind: the process's allocator and stack
@@ -325,6 +342,8 @@ class ClosureXHarness:
             report.leaked_chunks,
             report.closed_fds,
             report.rewound_fds,
+            skip_heap_sweep=skip_heap,
+            skip_fd_sweep=skip_fd,
         )
         vm.charge(report.restore_ns)
         return report

@@ -54,8 +54,15 @@ class CostModel:
     loop_iteration_ns: int = 140                 # __AFL_LOOP bookkeeping
     setjmp_ns: int = 60
 
-    # ClosureX state restoration.
+    # ClosureX state restoration.  restore_base_ns is the full
+    # fixed cost of a restore pass; walking the (possibly empty) chunk
+    # map and fd table accounts for heap_sweep_base_ns and
+    # fd_sweep_base_ns of it, the rest is loop/bookkeeping floor.  The
+    # pollution-aware harness subtracts a component when static
+    # analysis proves the matching sweep can never find anything.
     restore_base_ns: int = 250
+    heap_sweep_base_ns: int = 45                 # chunk-map traversal floor
+    fd_sweep_base_ns: int = 35                   # fd-table traversal floor
     global_restore_per_byte_x1000: int = 250     # 0.25 ns/B ~ 4 B/ns memcpy
     heap_sweep_per_chunk_ns: int = 55
     fd_close_ns: int = 130
@@ -80,10 +87,22 @@ class CostModel:
     def closurex_restore_cost(
         self, section_bytes: int, leaked_chunks: int,
         closed_fds: int, rewound_fds: int,
+        skip_heap_sweep: bool = False, skip_fd_sweep: bool = False,
     ) -> int:
-        """Fine-grain restoration after one test case."""
+        """Fine-grain restoration after one test case.
+
+        The skip flags model a harness that elides a sweep entirely
+        because static analysis proved the dimension clean; they
+        subtract that sweep's share of the fixed restore cost.
+        Defaults leave the classic full-restore price unchanged.
+        """
+        base = self.restore_base_ns
+        if skip_heap_sweep:
+            base -= self.heap_sweep_base_ns
+        if skip_fd_sweep:
+            base -= self.fd_sweep_base_ns
         return (
-            self.restore_base_ns
+            base
             + (section_bytes * self.global_restore_per_byte_x1000) // 1000
             + leaked_chunks * self.heap_sweep_per_chunk_ns
             + closed_fds * self.fd_close_ns

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.analysis.pollution import PollutionAnalyzer, PollutionReport
 from repro.ir.module import Module
 from repro.ir.cfg import edge_count
 from repro.minic import compile_c
@@ -24,6 +25,7 @@ from repro.passes.pipelines import (
     baseline_passes,
     closurex_passes,
     persistent_passes,
+    pollution_aware_pipeline,
 )
 from repro.vm.errors import TrapKind
 
@@ -89,6 +91,24 @@ class TargetSpec:
         module = self.compile()
         PassManager(persistent_passes(self.coverage_seed)).run(module)
         return module
+
+    def analyze(self) -> PollutionReport:
+        """Pollution-classify the raw module (no instrumentation)."""
+        return PollutionAnalyzer(
+            self.compile(), extra_allocators=self.extra_allocators
+        ).run()
+
+    def build_analyzed(self) -> tuple[Module, PollutionReport]:
+        """Analysis-guided ClosureX build: passes for provably clean
+        state dimensions are elided, and (with a trusted report) only
+        modified globals are relocated.  Returns the instrumented
+        module *and* the report, which the runtime harness consumes to
+        skip the matching restore sweeps."""
+        module = self.compile()
+        _results, report = pollution_aware_pipeline(
+            module, self.coverage_seed, self.extra_allocators
+        )
+        return module, report
 
     # -- metadata ---------------------------------------------------------
 
