@@ -1,0 +1,181 @@
+"""Sentinel cost/benefit: digest cadence vs detection latency.
+
+The integrity sentinel charges every digest, repair, and shadow replay
+to the virtual clock, so its overhead is a measurable slice of campaign
+budget — and its cadence (`digest_every`) is a dial trading that
+overhead against how long a restore leak survives undetected.  This
+benchmark quantifies both sides:
+
+- **overhead** — virtual ns spent on digests over a fixed exec count of
+  a real target, per cadence (plus one shadow-differ row, the expensive
+  end of the spectrum);
+- **detection latency** — execs (and virtual ns) between a persistent
+  restore leak appearing and the oracle catching it, per cadence.  A
+  persistent leak (here: a wrong static-analysis proof eliding the heap
+  sweep every restore) is caught at the first digest check, so latency
+  is ``cadence - 1`` execs; a *transient* single-restore sabotage is
+  caught only when the digest lands on the sabotaged exec itself.
+
+Tables land in ``benchmarks/results/integrity_overhead.txt`` and
+``integrity_detection.txt``.
+"""
+
+from repro.analysis.pollution import DIMENSIONS, DimensionFinding, PollutionReport
+from repro.chaos import FaultInjector, FaultPlan, FaultSite, FaultSpec
+from repro.execution import ClosureXExecutor, SupervisedExecutor
+from repro.integrity import EscalationPolicy, IntegritySentinel
+from repro.minic import compile_c
+from repro.passes import PassManager, closurex_passes
+from repro.runtime.harness import HarnessConfig
+from repro.sim_os import Kernel
+from repro.targets import get_target
+
+from conftest import save_result
+
+CADENCES = (1, 2, 4, 8)
+EXECS = 40
+
+#: Leaks one chunk per exec — the persistent-leak workload once a fake
+#: "heap is clean" proof turns off the restore sweep.
+LEAKY = r"""
+int counter;
+
+int main(int argc, char **argv) {
+    char *f = fopen(argv[1], "r");
+    if (!f) { exit(1); }
+    char buf[16];
+    long n = fread(buf, 1, 16, f);
+    if (n < 1) { exit(2); }
+    counter++;
+    char *scratch = (char*)malloc(32);
+    scratch[0] = buf[0];
+    fclose(f);
+    return counter;
+}
+"""
+
+
+def _leaky_module():
+    module = compile_c(LEAKY, "bench-leaky")
+    PassManager(closurex_passes(11)).run(module)
+    return module
+
+
+def _run_target(spec, policy):
+    kernel = Kernel()
+    sentinel = IntegritySentinel(policy)
+    executor = ClosureXExecutor(
+        spec.build_closurex(), spec.image_bytes, kernel, sentinel=sentinel
+    )
+    executor.boot()
+    seeds = [bytes(s) for s in spec.seeds]
+    for index in range(EXECS):
+        executor.run(seeds[index % len(seeds)])
+    executor.shutdown()
+    return sentinel.stats, kernel.clock.now_ns
+
+
+def test_digest_cadence_overhead(results_dir):
+    spec = get_target("giftext")
+    rows = []
+    overheads = {}
+    for cadence in CADENCES:
+        stats, total_ns = _run_target(
+            spec, EscalationPolicy(digest_every=cadence, shadow_every=0)
+        )
+        overheads[cadence] = stats.overhead_ns
+        rows.append((f"digest_every={cadence}", stats.checks,
+                     stats.overhead_ns, total_ns))
+    stats, total_ns = _run_target(
+        spec, EscalationPolicy(digest_every=8, shadow_every=8)
+    )
+    rows.append((f"digest_every=8 + shadow_every=8",
+                 stats.checks + stats.shadow_runs,
+                 stats.overhead_ns, total_ns))
+
+    lines = [
+        f"sentinel overhead — {spec.name}, {EXECS} execs (virtual ns)",
+        f"{'configuration':<32} {'checks':>7} {'overhead_ns':>12} "
+        f"{'campaign_ns':>12} {'share':>7}",
+    ]
+    for name, checks, overhead_ns, total_ns in rows:
+        lines.append(
+            f"{name:<32} {checks:>7} {overhead_ns:>12} {total_ns:>12} "
+            f"{overhead_ns / total_ns:>6.2%}"
+        )
+    save_result(results_dir, "integrity_overhead", "\n".join(lines))
+
+    # Coarser cadence must be strictly cheaper; the whole cost lives on
+    # the virtual clock, so it is visible in the campaign total.
+    assert overheads[1] > overheads[2] > overheads[4] > overheads[8]
+    assert all(stats_overhead > 0 for stats_overhead in overheads.values())
+
+
+def _persistent_leak_run(cadence):
+    """Campaign where every restore leaks (wrong clean-heap proof)."""
+    findings = {
+        d: DimensionFinding(d, dirty=(d != "heap")) for d in DIMENSIONS
+    }
+    report = PollutionReport("bench-leaky", "main", findings=findings)
+    kernel = Kernel()
+    sentinel = IntegritySentinel(
+        EscalationPolicy(digest_every=cadence, shadow_every=0)
+    )
+    executor = SupervisedExecutor(ClosureXExecutor(
+        _leaky_module(), 500_000, kernel, sentinel=sentinel,
+        config=HarnessConfig(pollution=report),
+    ))
+    executor.boot()
+    leak_born_ns = None
+    for index in range(16):
+        result = executor.run(bytes([97 + index]) + b"-seed")
+        assert result.return_code == 1
+        if leak_born_ns is None:
+            leak_born_ns = kernel.clock.now_ns  # first exec leaked
+    event = sentinel.ledger.events[0]
+    executor.shutdown()
+    return event, leak_born_ns
+
+
+def _transient_sabotage_run(cadence):
+    """Single-restore sabotage at exec 5: caught only if a digest
+    check lands on that exec."""
+    kernel = Kernel()
+    sentinel = IntegritySentinel(
+        EscalationPolicy(digest_every=cadence, shadow_every=0)
+    )
+    inner = ClosureXExecutor(_leaky_module(), 500_000, kernel,
+                             sentinel=sentinel)
+    injector = FaultInjector(
+        FaultPlan([FaultSpec(FaultSite.SKIP_HEAP_SWEEP, 4)]),
+        clock=kernel.clock,
+    )
+    executor = SupervisedExecutor(inner, injector=injector)
+    executor.boot()
+    for index in range(16):
+        executor.run(bytes([97 + index]) + b"-seed")
+    executor.shutdown()
+    return sentinel.stats.leaks > 0
+
+
+def test_detection_latency_vs_cadence(results_dir):
+    lines = [
+        "detection latency vs digest cadence (persistent + transient leaks)",
+        f"{'cadence':>7} {'caught_at_exec':>14} {'latency_execs':>13} "
+        f"{'latency_ns':>11} {'transient_caught':>16}",
+    ]
+    for cadence in CADENCES:
+        event, leak_born_ns = _persistent_leak_run(cadence)
+        latency_execs = event.exec_index - 1
+        latency_ns = event.at_ns - leak_born_ns
+        caught = _transient_sabotage_run(cadence)
+        lines.append(
+            f"{cadence:>7} {event.exec_index:>14} {latency_execs:>13} "
+            f"{latency_ns:>11} {('yes' if caught else 'MISSED'):>16}"
+        )
+        # A persistent leak is caught at the first scheduled check.
+        assert event.exec_index == cadence
+        # A single-restore sabotage at exec 5 is only caught when the
+        # cadence divides 5 — the honest price of coarser checking.
+        assert caught == (5 % cadence == 0)
+    save_result(results_dir, "integrity_detection", "\n".join(lines))

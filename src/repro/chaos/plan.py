@@ -37,6 +37,14 @@ class FaultSite(enum.Enum):
     SHM = "shm"            # coverage shared-memory corruption
     WEDGE = "wedge"        # wedge the target (instruction-budget hang)
     RESTORE = "restore"    # ClosureX state restoration failure
+    # Dimension-targeted restore sabotage (the integrity sentinel's
+    # proving ground): each corrupts exactly one ClosureX state
+    # dimension *silently* — no exception is raised, the restore simply
+    # does the wrong thing, exactly like a pass regression would.
+    SKIP_HEAP_SWEEP = "skip-heap-sweep"      # leaked chunks survive
+    LEAK_FD = "leak-fd"                      # leaked FILE handles survive
+    DIRTY_GLOBAL_BYTE = "dirty-global-byte"  # restore writes a wrong byte
+    SKIP_CTX_REWIND = "skip-ctx-rewind"      # stack/argv context drifts
 
 
 #: Human-readable errno-style details per site (purely descriptive).
@@ -50,6 +58,10 @@ _DEFAULT_DETAIL = {
     FaultSite.SHM: "shm-corrupt",
     FaultSite.WEDGE: "wedged",
     FaultSite.RESTORE: "restore-failed",
+    FaultSite.SKIP_HEAP_SWEEP: "heap-sweep-skipped",
+    FaultSite.LEAK_FD: "fd-sweep-skipped",
+    FaultSite.DIRTY_GLOBAL_BYTE: "global-byte-corrupted",
+    FaultSite.SKIP_CTX_REWIND: "ctx-rewind-skipped",
 }
 
 
@@ -88,6 +100,15 @@ class FaultPlan:
         FaultSite.SPAWN, FaultSite.FORK, FaultSite.PIPE,
         FaultSite.MALLOC, FaultSite.FOPEN, FaultSite.FREAD,
         FaultSite.SHM, FaultSite.WEDGE,
+    )
+
+    #: Silent restore-sabotage sites the integrity sentinel exists to
+    #: catch.  Opt-in like RESTORE: they only make sense against a
+    #: ClosureX harness, and without a sentinel they corrupt results
+    #: instead of raising (that is the point).
+    SENTINEL_SITES = (
+        FaultSite.SKIP_HEAP_SWEEP, FaultSite.LEAK_FD,
+        FaultSite.DIRTY_GLOBAL_BYTE, FaultSite.SKIP_CTX_REWIND,
     )
 
     @classmethod

@@ -10,12 +10,18 @@ hang; those are rare enough that the amortised cost is negligible.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.execution.common import ExecResult, Executor
+from repro.integrity.faults import IntegrityFault
 from repro.ir.module import Module
 from repro.runtime.harness import ClosureXHarness, HarnessConfig
 from repro.sim_os.kernel import Kernel, ProcessRecord
 from repro.sim_os.pipes import ForkserverChannel
 from repro.vm.filesystem import VirtualFS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hints only)
+    from repro.integrity.sentinel import IntegritySentinel
 
 
 class ClosureXExecutor(Executor):
@@ -29,6 +35,7 @@ class ClosureXExecutor(Executor):
         image_bytes: int,
         kernel: Kernel,
         config: HarnessConfig | None = None,
+        sentinel: "IntegritySentinel | None" = None,
     ):
         super().__init__(kernel)
         self.module = module
@@ -40,6 +47,9 @@ class ClosureXExecutor(Executor):
         self._parent: ProcessRecord | None = None
         self.channel = ForkserverChannel(kernel)
         self.last_restore = None
+        # Optional state-integrity sentinel (repro.integrity): verifies
+        # every restore against the pristine baseline and heals leaks.
+        self.sentinel = sentinel
 
     def boot(self) -> None:
         # As in AFL++, the persistent target runs under a forkserver
@@ -68,6 +78,10 @@ class ClosureXExecutor(Executor):
         vm = self.harness.boot(charge_load=charge_load)
         self.kernel.charge(vm.cost)
         self._cost_mark = vm.cost
+        if self.sentinel is not None:
+            # (Re)capture the pristine baseline — every boot lands the
+            # process in the same canonical state, so this is exact.
+            self.sentinel.on_boot(self)
 
     def _respawn(self) -> None:
         """The persistent process died (crash/hang); the forkserver
@@ -82,6 +96,13 @@ class ClosureXExecutor(Executor):
         if self.harness is None:
             self.boot()
         assert self.harness is not None and self.harness.vm is not None
+        if self.sentinel is not None:
+            # Known-divergent inputs replay their fresh-VM ground-truth
+            # result instead of re-polluting the persistent process.
+            replay = self.sentinel.check_quarantine(self, data)
+            if replay is not None:
+                self.stats.observe(replay)
+                return replay
         start_ns = self.clock.now_ns
         self.kernel.charge_dispatch()
         self.harness.config.instruction_limit = self.exec_instruction_limit
@@ -101,6 +122,19 @@ class ClosureXExecutor(Executor):
             fault = self.faults.poll("restore")
             if fault is not None:
                 raise fault
+
+        if self.sentinel is not None and iteration.restore is not None:
+            try:
+                self.sentinel.after_exec(self, data, iteration)
+            except IntegrityFault:
+                # In-place repair failed (or ground truth diverged):
+                # the persistent process cannot be trusted.  Respawn it
+                # now — the sentinel's next escalation rung — then let
+                # the fault escape so the supervised ladder voids this
+                # exec, retries the input, and can ultimately degrade
+                # to forkserver mode.
+                self._respawn()
+                raise
 
         if not iteration.status.survivable:
             self._respawn()
@@ -124,3 +158,20 @@ class ClosureXExecutor(Executor):
         if self._parent is not None:
             self.kernel.reap(self._parent, 0, fresh=True)
             self._parent = None
+
+    # -- checkpoint support ---------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        if self.sentinel is not None:
+            # Ledger + quarantine ride along so a resumed campaign
+            # keeps every leak attribution and never re-executes a
+            # known-divergent input.  The oracle baseline is excluded:
+            # it is recaptured from the re-booted process.
+            state["sentinel"] = self.sentinel.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        if self.sentinel is not None and state.get("sentinel") is not None:
+            self.sentinel.restore_state(state["sentinel"])

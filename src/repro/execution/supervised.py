@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from repro.chaos.faults import InjectedFault
 from repro.chaos.plan import FaultInjector
 from repro.execution.common import ExecResult, Executor
+from repro.integrity.faults import IntegrityFault
 from repro.runtime.harness import IterationStatus
 from repro.sim_os.pipes import PipeBroken
 from repro.telemetry import Telemetry
@@ -45,8 +46,11 @@ from repro.vm.interpreter import COVERAGE_MAP_SIZE
 
 #: Exception types the supervisor treats as recoverable infrastructure
 #: failures.  Everything else (VMTrap, ProcessExit, ...) is target
-#: behaviour and passes through untouched.
-RECOVERABLE_FAULTS = (InjectedFault, PipeBroken)
+#: behaviour and passes through untouched.  IntegrityFault carries
+#: ``site="restore"``, so an unrepairable restore leak detected by the
+#: integrity sentinel rides the same escalation ladder as an injected
+#: restore failure.
+RECOVERABLE_FAULTS = (InjectedFault, PipeBroken, IntegrityFault)
 
 
 @dataclass

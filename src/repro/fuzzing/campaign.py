@@ -55,6 +55,9 @@ class CampaignConfig:
     # and Campaign.resume(path, executor) continues bit-identically.
     checkpoint_path: str | None = None
     checkpoint_interval_ns: int = 50_000_000
+    # Checkpoint generations kept on disk (path, path.1, ...): loading
+    # falls back to an older generation when the newest fails its CRC.
+    checkpoint_keep: int = 2
     # Abandon the loop once the clock passes this instant (test hook
     # modelling a fuzzer-process crash mid-campaign); None = run to the
     # budget deadline.
@@ -221,7 +224,7 @@ class Campaign:
         path = path if path is not None else self.config.checkpoint_path
         if path is None:
             raise ValueError("no checkpoint path configured")
-        save_checkpoint(self, path)
+        save_checkpoint(self, path, keep=self.config.checkpoint_keep)
         if self.telemetry.enabled:
             self.telemetry.metrics.counter("campaign.checkpoints").inc()
             if self.telemetry.tracer.enabled:

@@ -10,10 +10,19 @@ identically** to a run that was never interrupted: the RNG replays the
 same mutation stream, the clock re-enters at the same virtual
 nanosecond, and the corpus scheduler picks the same entries.
 
-Durability: the file is written with the classic tmp + fsync +
-``os.replace`` dance, so a crash mid-checkpoint leaves the previous
-checkpoint intact — there is never a moment with no valid checkpoint
-on disk.
+Durability, in three layers:
+
+- **atomic writes** — tmp + fsync + ``os.replace``, so a crash
+  mid-checkpoint leaves the previous file intact;
+- **integrity framing** — the ``RPRCKPT1`` header carries a CRC32 of
+  the pickle payload, so silent on-disk corruption (bit rot, a torn
+  page, a partial copy) is detected at load instead of surfacing as an
+  arbitrary unpickling error or — worse — a subtly wrong resume;
+- **rotation** — each save shifts the previous checkpoint to
+  ``path.1`` (and so on up to *keep* generations), and loading falls
+  back through the generations to the newest file that passes magic +
+  CRC + version, so one corrupted checkpoint costs an interval of
+  progress, never the campaign.
 
 Executor process state (booted VMs, harness snapshots) is *not*
 serialised: on resume the executor re-boots and the clock is then
@@ -28,9 +37,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import zlib
 
 CHECKPOINT_VERSION = 1
 CHECKPOINT_MAGIC = b"RPRCKPT1"
+#: Generations kept on disk by default: the live file plus ``path.1``.
+DEFAULT_KEEP = 2
+
+_CRC_BYTES = 4
 
 
 class CheckpointError(RuntimeError):
@@ -56,13 +70,46 @@ def capture_state(campaign) -> dict:
         "timeline": list(campaign._timeline),
         "next_sample_ns": campaign._next_sample_ns,
         "executor_state": executor.snapshot_state(),
+        # Informational integrity summary (the full ledger rides inside
+        # executor_state): lets reports and humans see at a glance what
+        # the sentinel observed without unpickling executor internals.
+        "integrity": _integrity_summary(executor),
     }
 
 
-def save_checkpoint(campaign, path: str) -> None:
-    """Atomically persist *campaign*'s state to *path*."""
-    payload = CHECKPOINT_MAGIC + pickle.dumps(
+def _integrity_summary(executor) -> dict | None:
+    """Sentinel ledger summary, looking through a supervisor wrapper."""
+    sentinel = getattr(executor, "sentinel", None)
+    if sentinel is None:
+        sentinel = getattr(getattr(executor, "inner", None), "sentinel", None)
+    return sentinel.ledger.summary() if sentinel is not None else None
+
+
+def _generation_path(path: str, generation: int) -> str:
+    return path if generation == 0 else f"{path}.{generation}"
+
+
+def _rotate(path: str, keep: int) -> None:
+    """Shift existing generations one slot older, dropping the oldest."""
+    for generation in range(keep - 1, 0, -1):
+        source = _generation_path(path, generation - 1)
+        if os.path.exists(source):
+            os.replace(source, _generation_path(path, generation))
+
+
+def save_checkpoint(campaign, path: str, keep: int = DEFAULT_KEEP) -> None:
+    """Atomically persist *campaign*'s state to *path*.
+
+    Keeps up to *keep* generations: the fresh file at *path*, the
+    previous one at ``path.1``, and so on.
+    """
+    body = pickle.dumps(
         capture_state(campaign), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    payload = (
+        CHECKPOINT_MAGIC
+        + zlib.crc32(body).to_bytes(_CRC_BYTES, "little")
+        + body
     )
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -71,11 +118,12 @@ def save_checkpoint(campaign, path: str) -> None:
         handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
+    _rotate(path, max(1, keep))
     os.replace(tmp_path, path)
 
 
-def load_checkpoint(path: str) -> dict:
-    """Read and validate a checkpoint written by :func:`save_checkpoint`."""
+def _load_one(path: str) -> dict:
+    """Read and fully validate a single checkpoint file."""
     try:
         with open(path, "rb") as handle:
             payload = handle.read()
@@ -83,8 +131,21 @@ def load_checkpoint(path: str) -> dict:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {error}")
     if not payload.startswith(CHECKPOINT_MAGIC):
         raise CheckpointError(f"{path!r} is not a campaign checkpoint")
+    header_end = len(CHECKPOINT_MAGIC) + _CRC_BYTES
+    if len(payload) < header_end:
+        raise CheckpointError(f"truncated checkpoint header in {path!r}")
+    expected_crc = int.from_bytes(
+        payload[len(CHECKPOINT_MAGIC):header_end], "little"
+    )
+    body = payload[header_end:]
+    actual_crc = zlib.crc32(body)
+    if actual_crc != expected_crc:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed CRC "
+            f"(expected {expected_crc:08x}, got {actual_crc:08x})"
+        )
     try:
-        state = pickle.loads(payload[len(CHECKPOINT_MAGIC):])
+        state = pickle.loads(body)
     except Exception as error:  # truncated/corrupt pickle stream
         raise CheckpointError(f"corrupt checkpoint {path!r}: {error}")
     if state.get("version") != CHECKPOINT_VERSION:
@@ -92,3 +153,27 @@ def load_checkpoint(path: str) -> dict:
             f"checkpoint version {state.get('version')} != {CHECKPOINT_VERSION}"
         )
     return state
+
+
+def load_checkpoint(path: str) -> dict:
+    """Load the newest valid checkpoint generation rooted at *path*.
+
+    Tries *path* first, then ``path.1``, ``path.2``, ... — returning
+    the first generation that passes magic + CRC + version.  Raises
+    :class:`CheckpointError` (describing every failure) only when no
+    generation is loadable.
+    """
+    failures: list[str] = []
+    generation = 0
+    while True:
+        candidate = _generation_path(path, generation)
+        if generation > 0 and not os.path.exists(candidate):
+            break
+        try:
+            return _load_one(candidate)
+        except CheckpointError as error:
+            failures.append(str(error))
+        generation += 1
+    raise CheckpointError(
+        "no loadable checkpoint generation: " + "; ".join(failures)
+    )

@@ -1,0 +1,66 @@
+"""Integrity self-check: ``python -m repro.integrity``.
+
+For every registered target this boots a ClosureX executor with the
+sentinel at its strictest cadence (digest after every exec, shadow
+replay after every exec) and runs each seed twice through the
+persistent loop.  A correct build produces zero leaks and zero
+divergences; the process exits non-zero otherwise.  This is the
+runtime analogue of ``python -m repro.analysis``: the static gate
+proves the passes *should* restore every dimension, this gate checks
+that they actually *did*.  CI runs it in the ``integrity`` job.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.execution.closurex import ClosureXExecutor
+from repro.integrity.sentinel import EscalationPolicy, IntegritySentinel
+from repro.sim_os.kernel import Kernel
+from repro.targets import all_targets
+
+
+def check_target(spec) -> tuple[bool, str]:
+    """Run one target's seeds under full sentinel scrutiny."""
+    module = spec.build_closurex()
+    kernel = Kernel()
+    sentinel = IntegritySentinel(
+        EscalationPolicy(digest_every=1, shadow_every=1)
+    )
+    executor = ClosureXExecutor(
+        module, spec.image_bytes, kernel, sentinel=sentinel
+    )
+    executor.boot()
+    # Two passes over the seeds: the second exercises restoration
+    # *after* real target activity, which is where leaks would live.
+    for _round in range(2):
+        for seed in spec.seeds:
+            executor.run(bytes(seed))
+    executor.shutdown()
+    stats = sentinel.stats
+    ok = stats.leaks == 0 and stats.divergences == 0
+    line = (
+        f"{spec.name}: checks={stats.checks} shadows={stats.shadow_runs} "
+        f"leaks={stats.leaks} divergences={stats.divergences} "
+        f"overhead={stats.overhead_ns}ns"
+    )
+    return ok, line
+
+
+def main() -> int:
+    failures = 0
+    targets = all_targets()
+    for spec in targets:
+        ok, line = check_target(spec)
+        print(("ok   " if ok else "FAIL ") + line)
+        if not ok:
+            failures += 1
+    print(
+        f"\nintegrity self-check: {len(targets) - failures}/{len(targets)} "
+        f"targets restore-clean"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The integrity sentinel's escalation vehicle.
+
+:class:`IntegrityFault` carries ``site = "restore"`` so the existing
+:class:`~repro.execution.supervised.SupervisedExecutor` degradation
+ladder handles it without modification: below the escalation threshold
+the input is retried in place, past it the persistent process is
+respawned, and repeated escalations fall back to forkserver mode.  The
+sentinel never implements its own recovery loop — detection decides
+*that* something is wrong and repair handles the easy cases; everything
+harder is routed into the one battle-tested ladder.
+"""
+
+from __future__ import annotations
+
+
+class IntegrityFault(Exception):
+    """A restore-integrity violation the sentinel could not repair.
+
+    Raised *instead of* returning an exec result, so a corrupted
+    execution is voided (never counted, never trusted) exactly like an
+    injected infrastructure fault would be.
+    """
+
+    #: Routes the fault into the supervisor's restore-escalation ladder.
+    site = "restore"
+
+    def __init__(
+        self,
+        detail: str,
+        dimensions: tuple[str, ...] = (),
+        source: str = "oracle",
+    ):
+        super().__init__(detail)
+        self.detail = detail
+        self.dimensions = tuple(dimensions)
+        self.source = source
+
+    def __reduce__(self):
+        return (IntegrityFault, (self.detail, self.dimensions, self.source))
+
+    def __str__(self) -> str:
+        dims = ",".join(self.dimensions) or "?"
+        return f"integrity violation [{self.source}:{dims}]: {self.detail}"

@@ -1,0 +1,75 @@
+"""RestoreOracle: does post-restore state equal the pristine baseline?
+
+The oracle captures one canonical :class:`StateDigest` right after the
+harness boots and compares every later digest against it.  ClosureX's
+correctness contract says the two must be bit-identical — restoration
+returns the process to exactly its post-init state — so any differing
+dimension is a restore leak, already attributed (heap / file / global /
+exit) by construction.
+
+Canonicalisation: the post-boot state is *almost* the post-restore
+state — init may have left FILE positions advanced and the stack/heap
+bump cursors past their rewind marks, which the first restore will
+normalise.  ``capture_baseline`` therefore runs the file sweep and
+cursor rewind once before digesting (semantically a no-op: no target
+code has run), so the baseline is the fixed point restoration converges
+to and the first check never false-positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.integrity.digest import StateDigest, compute_digest, digest_cost
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.runtime.harness import ClosureXHarness
+
+
+@dataclass
+class IntegrityVerdict:
+    """Outcome of one post-restore integrity check."""
+
+    clean: bool
+    leaked_dimensions: tuple[str, ...]
+    digest: StateDigest
+    cost_ns: int
+
+    def describe(self) -> str:
+        if self.clean:
+            return "clean"
+        return "leak:" + ",".join(self.leaked_dimensions)
+
+
+class RestoreOracle:
+    """Compares post-restore digests against the pristine baseline."""
+
+    def __init__(self) -> None:
+        self.baseline: StateDigest | None = None
+        self.checks = 0
+
+    def capture_baseline(self, harness: "ClosureXHarness") -> int:
+        """Canonicalise and digest the pristine post-boot state.
+
+        Returns the virtual-ns cost of the capture (one repair-grade
+        sweep plus one digest); the caller owns the accounting.
+        """
+        sweep_ns = harness.repair_dimensions(("file", "exit"))
+        self.baseline = compute_digest(harness)
+        self.checks = 0
+        return sweep_ns + digest_cost(self.baseline, harness.costs)
+
+    def check(self, harness: "ClosureXHarness") -> IntegrityVerdict:
+        """Digest the current state and diff it against the baseline."""
+        if self.baseline is None:
+            raise RuntimeError("oracle has no baseline — capture one first")
+        digest = compute_digest(harness)
+        leaked = self.baseline.diff(digest)
+        self.checks += 1
+        return IntegrityVerdict(
+            clean=not leaked,
+            leaked_dimensions=leaked,
+            digest=digest,
+            cost_ns=digest_cost(digest, harness.costs),
+        )

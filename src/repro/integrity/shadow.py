@@ -1,0 +1,81 @@
+"""ShadowDiffer: fresh-process ground truth for differential checks.
+
+The digest oracle proves the *mechanism* restored its four dimensions;
+it cannot prove the *semantics* survived — pollution flowing through a
+channel the digest deliberately excludes (init-chunk contents, state a
+pass failed to even track) changes behaviour without changing any
+structural fingerprint.  The shadow differ closes that gap the way the
+paper validates ClosureX itself: replay the same input in a throwaway
+fresh VM — a process that provably has no history — and require the
+persistent run's outcome and coverage map to match bit-for-bit.
+
+The shadow VM never sees the chaos injector: ground truth must be
+fault-free, and sharing the injector would also perturb its
+occurrence counters (every poll advances them), breaking the
+determinism of the surrounding campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.runtime.harness import ClosureXHarness, IterationStatus
+from repro.vm.errors import VMTrap
+from repro.vm.filesystem import VirtualFS
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.execution.closurex import ClosureXExecutor
+    from repro.runtime.harness import IterationResult
+
+
+@dataclass
+class ShadowObservation:
+    """What one fresh-VM replay of an input observed."""
+
+    status: IterationStatus
+    return_code: int | None
+    trap: VMTrap | None
+    coverage: bytes                  # frozen copy of the shadow map
+    instructions: int
+    cost_ns: int                     # full price of the replay, all-in
+
+    def matches(self, iteration: "IterationResult",
+                persistent_coverage: bytearray) -> bool:
+        """Did the persistent run behave exactly like a fresh process?"""
+        return (
+            self.status is iteration.status
+            and self.return_code == iteration.return_code
+            and self.coverage == bytes(persistent_coverage)
+        )
+
+
+class ShadowDiffer:
+    """Replays inputs in throwaway fresh VMs for differential checking."""
+
+    def __init__(self, executor: "ClosureXExecutor"):
+        self.module = executor.module
+        self.costs = executor.kernel.costs
+        self.config = executor.config
+        self.replays = 0
+
+    def replay(self, data: bytes) -> ShadowObservation:
+        """One fresh-process execution of *data*; never shares state
+        (VM, filesystem, fault injector) with the persistent run."""
+        harness = ClosureXHarness(
+            self.module,
+            fs=VirtualFS(),
+            costs=self.costs,
+            config=self.config,
+        )
+        vm = harness.boot(charge_load=True)
+        iteration = harness.run_test_case(data, restore=False)
+        self.replays += 1
+        return ShadowObservation(
+            status=iteration.status,
+            return_code=iteration.return_code,
+            trap=iteration.trap,
+            coverage=bytes(vm.coverage_map),
+            instructions=iteration.instructions,
+            cost_ns=vm.cost + self.costs.shadow_dispatch_ns,
+        )

@@ -36,6 +36,9 @@ class FDTracker:
         self._handles[handle] = HandleRecord(handle, path, init)
         self.total_opened += 1
 
+    def get(self, handle: int) -> HandleRecord | None:
+        return self._handles.get(handle)
+
     def remove(self, handle: int) -> bool:
         record = self._handles.pop(handle, None)
         if record is None:

@@ -291,7 +291,16 @@ class ClosureXHarness:
         )
 
     def restore_state(self) -> RestoreReport:
-        """Fine-grain state restoration between test cases."""
+        """Fine-grain state restoration between test cases.
+
+        The chaos plane can silently sabotage any single dimension of
+        this pass (``skip-heap-sweep`` / ``leak-fd`` /
+        ``dirty-global-byte`` / ``skip-ctx-rewind``): no exception is
+        raised, the restore just does the wrong thing — exactly the
+        failure mode of a pass regression or harness bug.  Detecting
+        and healing those is the integrity sentinel's job
+        (:mod:`repro.integrity`).
+        """
         if self.vm is None or self.snapshot is None:
             raise RuntimeError("harness not booted")
         vm = self.vm
@@ -300,26 +309,23 @@ class ClosureXHarness:
         skip_heap = pollution is not None and pollution.is_clean("heap")
         skip_fd = pollution is not None and pollution.is_clean("file")
 
+        faults = vm.faults
+        sabotage_heap = sabotage_fd = sabotage_global = sabotage_ctx = False
+        if faults is not None:
+            sabotage_heap = faults.poll("skip-heap-sweep") is not None
+            sabotage_fd = faults.poll("leak-fd") is not None
+            sabotage_global = faults.poll("dirty-global-byte") is not None
+            sabotage_ctx = faults.poll("skip-ctx-rewind") is not None
+
         # 1. Heap: free every chunk the target leaked (Figure 5 C).
         #    Proven heap-clean targets never allocate after init (and
         #    init-phase chunks are never swept), so the walk is elided.
-        if not skip_heap:
-            for chunk in self.chunk_map.sweep():
-                vm.heap.free(chunk.address, vm.site)
-                report.leaked_chunks += 1
-                report.leaked_bytes += chunk.size
+        if not skip_heap and not sabotage_heap:
+            report.leaked_chunks, report.leaked_bytes = self._sweep_heap()
 
         # 2. File handles: close leaked ones, rewind init-phase ones.
-        if not skip_fd:
-            to_close, to_rewind = self.fd_tracker.sweep()
-            for record in to_close:
-                vm.fd_table.fclose(record.handle, vm.site)
-                report.closed_fds += 1
-            if self.config.rewind_init_handles:
-                for record in to_rewind:
-                    file = vm.fd_table.get(record.handle, vm.site)
-                    vm.fd_table.fseek(file, 0, 0)
-                    report.rewound_fds += 1
+        if not skip_fd and not sabotage_fd:
+            report.closed_fds, report.rewound_fds = self._sweep_fds()
 
         # 3. Globals: copy the ground-truth snapshot back (Figure 4).
         #    A global-clean target has an empty (or absent) section, so
@@ -327,15 +333,16 @@ class ClosureXHarness:
         #    report got a *smaller* section from the restricted
         #    GlobalPass, which is where the byte savings come from.
         report.section_bytes = self.snapshot.restore()
+        if sabotage_global:
+            self._corrupt_global_byte()
 
         # 4. Address-cursor rewind: the process's allocator and stack
         #    hand out the same addresses next iteration, as real ones do.
         #    (With the HeapPass ablated, untracked chunks survive the
         #    sweep and the cursor must stay put — mirroring a real
         #    allocator that cannot reuse leaked memory.)
-        vm.reset_stack_addresses()
-        if all(r.base < self._heap_mark for r in vm.heap.live.values()):
-            vm.reset_heap_addresses(self._heap_mark)
+        if not sabotage_ctx:
+            self._rewind_cursors()
 
         report.restore_ns = self.costs.closurex_restore_cost(
             report.section_bytes,
@@ -347,3 +354,80 @@ class ClosureXHarness:
         )
         vm.charge(report.restore_ns)
         return report
+
+    # ------------------------------------------------------------------
+    # per-dimension sweeps (shared by restore_state and targeted repair)
+    # ------------------------------------------------------------------
+
+    def _sweep_heap(self) -> tuple[int, int]:
+        """Free leaked chunks; returns ``(chunks, bytes)`` swept."""
+        assert self.vm is not None
+        chunks = 0
+        leaked_bytes = 0
+        for chunk in self.chunk_map.sweep():
+            self.vm.heap.free(chunk.address, self.vm.site)
+            chunks += 1
+            leaked_bytes += chunk.size
+        return chunks, leaked_bytes
+
+    def _sweep_fds(self) -> tuple[int, int]:
+        """Close leaked handles, rewind init ones; ``(closed, rewound)``."""
+        assert self.vm is not None
+        vm = self.vm
+        closed = rewound = 0
+        to_close, to_rewind = self.fd_tracker.sweep()
+        for record in to_close:
+            vm.fd_table.fclose(record.handle, vm.site)
+            closed += 1
+        if self.config.rewind_init_handles:
+            for record in to_rewind:
+                file = vm.fd_table.get(record.handle, vm.site)
+                vm.fd_table.fseek(file, 0, 0)
+                rewound += 1
+        return closed, rewound
+
+    def _rewind_cursors(self) -> None:
+        assert self.vm is not None
+        vm = self.vm
+        vm.reset_stack_addresses()
+        if all(r.base < self._heap_mark for r in vm.heap.live.values()):
+            vm.reset_heap_addresses(self._heap_mark)
+
+    def _corrupt_global_byte(self) -> None:
+        """Chaos payload: flip one byte of the restored section — the
+        observable effect of a restore that copied wrong data."""
+        assert self.vm is not None
+        section = self.vm.section_bytes(CLOSURE_GLOBAL_SECTION)
+        if not section:
+            return
+        poisoned = bytes([section[0] ^ 0x5A]) + section[1:]
+        self.vm.restore_section(CLOSURE_GLOBAL_SECTION, poisoned)
+
+    def repair_dimensions(self, dimensions: tuple[str, ...]) -> int:
+        """Targeted in-place repair: re-run the restore sweeps for the
+        named state dimensions (the integrity sentinel's first rung).
+
+        Unlike :meth:`restore_state` this ignores pollution-based skip
+        proofs — a leak observed in a proven-clean dimension means the
+        proof is wrong, and the repair must actually sweep.  Returns
+        the virtual-ns cost of the repair (not yet charged anywhere:
+        the caller owns the accounting).
+        """
+        if self.vm is None or self.snapshot is None:
+            raise RuntimeError("harness not booted")
+        chunks = closed = rewound = section_bytes = 0
+        if "heap" in dimensions:
+            chunks, _bytes = self._sweep_heap()
+            # Leaked chunks above the mark blocked the cursor rewind in
+            # restore_state; with them freed the heap dimension is only
+            # whole once the cursor is back too.
+            self._rewind_cursors()
+        if "file" in dimensions:
+            closed, rewound = self._sweep_fds()
+        if "global" in dimensions:
+            section_bytes = self.snapshot.restore()
+        if "exit" in dimensions:
+            self._rewind_cursors()
+        return self.costs.integrity_repair_cost(
+            chunks, closed, rewound, section_bytes
+        )

@@ -68,6 +68,22 @@ class CostModel:
     fd_close_ns: int = 130
     fd_rewind_ns: int = 45
 
+    # State-integrity sentinel.  A digest is a structural CRC walk over
+    # the four ClosureX state dimensions — far cheaper than a restore
+    # (hardware CRC32 streams at ~10+ B/ns; the per-entry terms model
+    # the pointer chasing, not the hashing).  Repair re-runs one
+    # dimension's restore sweep; its per-item work is charged at the
+    # matching restore rates, on top of this fixed dispatch floor.
+    # Shadow replay costs are dominated by the throwaway VM's own
+    # execution (charged at full price), plus this dispatch overhead
+    # for building/tearing down the comparison.
+    digest_base_ns: int = 80
+    digest_per_chunk_ns: int = 7
+    digest_per_handle_ns: int = 6
+    digest_global_per_byte_x1000: int = 90       # ~0.09 ns/B CRC stream
+    integrity_repair_base_ns: int = 160
+    shadow_dispatch_ns: int = 1_800
+
     # -- derived helpers -------------------------------------------------
 
     def spawn_cost(self, image_bytes: int) -> int:
@@ -107,6 +123,31 @@ class CostModel:
             + leaked_chunks * self.heap_sweep_per_chunk_ns
             + closed_fds * self.fd_close_ns
             + rewound_fds * self.fd_rewind_ns
+        )
+
+    def state_digest_cost(
+        self, heap_chunks: int, open_handles: int, section_bytes: int,
+    ) -> int:
+        """One incremental digest of the four state dimensions."""
+        return (
+            self.digest_base_ns
+            + heap_chunks * self.digest_per_chunk_ns
+            + open_handles * self.digest_per_handle_ns
+            + (section_bytes * self.digest_global_per_byte_x1000) // 1000
+        )
+
+    def integrity_repair_cost(
+        self, swept_chunks: int, closed_fds: int, rewound_fds: int,
+        section_bytes: int,
+    ) -> int:
+        """Targeted re-run of one or more restore sweeps after a
+        detected leak — same per-item rates as the restore itself."""
+        return (
+            self.integrity_repair_base_ns
+            + swept_chunks * self.heap_sweep_per_chunk_ns
+            + closed_fds * self.fd_close_ns
+            + rewound_fds * self.fd_rewind_ns
+            + (section_bytes * self.global_restore_per_byte_x1000) // 1000
         )
 
 

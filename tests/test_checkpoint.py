@@ -11,7 +11,11 @@ import os
 
 import pytest
 
-from repro.execution import ForkServerExecutor, SupervisedExecutor
+from repro.execution import (
+    ClosureXExecutor,
+    ForkServerExecutor,
+    SupervisedExecutor,
+)
 from repro.chaos import FaultInjector, FaultPlan
 from repro.fuzzing import (
     Campaign,
@@ -21,8 +25,9 @@ from repro.fuzzing import (
     save_checkpoint,
 )
 from repro.fuzzing.checkpoint import CHECKPOINT_MAGIC
+from repro.integrity import EscalationPolicy, IntegritySentinel
 from repro.minic import compile_c
-from repro.passes import PassManager, baseline_passes
+from repro.passes import PassManager, baseline_passes, closurex_passes
 from repro.sim_os import Kernel
 
 SOURCE = r"""
@@ -121,6 +126,61 @@ class TestCheckpointFile:
         bad.write_bytes(good.read_bytes()[: len(CHECKPOINT_MAGIC) + 10])
         with pytest.raises(CheckpointError):
             load_checkpoint(str(bad))
+
+    def test_crc_detects_silent_corruption(self, tmp_path):
+        """One flipped bit anywhere in the payload fails the CRC —
+        bit rot never surfaces as a subtly wrong resume."""
+        path = tmp_path / "c.ckpt"
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, str(path))
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0x01
+        path.write_bytes(bytes(payload))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(str(path))
+
+    def test_rotation_keeps_previous_generation(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        campaign.execs = 1
+        save_checkpoint(campaign, path)
+        campaign.execs = 2
+        save_checkpoint(campaign, path)
+        assert load_checkpoint(path)["execs"] == 2
+        assert os.path.exists(path + ".1")
+
+    def test_load_falls_back_to_older_generation(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        campaign.execs = 1
+        save_checkpoint(campaign, path)
+        campaign.execs = 2
+        save_checkpoint(campaign, path)
+        # The newest generation is corrupted on disk; one checkpoint
+        # interval of progress is lost, never the campaign.
+        with open(path, "r+b") as handle:
+            handle.write(b"garbage!")
+        assert load_checkpoint(path)["execs"] == 1
+
+    def test_keep_bounds_generations_on_disk(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        for _ in range(4):
+            save_checkpoint(campaign, path, keep=2)
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        assert not os.path.exists(path + ".2")
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        save_checkpoint(campaign, path)
+        for candidate in (path, path + ".1"):
+            with open(candidate, "r+b") as handle:
+                handle.write(b"garbage!")
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            load_checkpoint(path)
 
     def test_mechanism_mismatch_rejected(self, tmp_path):
         path = str(tmp_path / "c.ckpt")
@@ -221,3 +281,52 @@ class TestResume:
         # counters rather than from zero.
         for site, count in state["executor_state"]["injector"]["counters"].items():
             assert injector2.counters.get(site, 0) >= count
+
+
+def _sentinel_campaign(config):
+    module = compile_c(SOURCE, "ckpt-sentinel")
+    PassManager(closurex_passes(11)).run(module)
+    sentinel = IntegritySentinel(EscalationPolicy(digest_every=4,
+                                                  shadow_every=0))
+    inner = ClosureXExecutor(module, IMAGE, Kernel(), sentinel=sentinel)
+    executor = SupervisedExecutor(inner)
+    return Campaign(executor, seeds=[b"hello", b"Xseed"], config=config)
+
+
+class TestIntegrityInCheckpoint:
+    def test_campaign_config_wires_checkpoint_keep(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(
+            CampaignConfig(
+                budget_ns=20_000_000, seed=5,
+                checkpoint_path=path,
+                checkpoint_interval_ns=2_000_000,
+                checkpoint_keep=3,
+            )
+        )
+        campaign.run()
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        assert not os.path.exists(path + ".3")
+
+    def test_sentinel_summary_rides_in_checkpoint(self, tmp_path):
+        path = str(tmp_path / "s.ckpt")
+        campaign = _sentinel_campaign(
+            CampaignConfig(
+                budget_ns=20_000_000, seed=5,
+                checkpoint_path=path, checkpoint_interval_ns=2_000_000,
+            )
+        )
+        campaign.run()
+        state = load_checkpoint(path)
+        summary = state["integrity"]
+        assert summary is not None
+        assert summary["leaks"] == 0 and summary["quarantined"] == 0
+        # The full sentinel state travels inside executor_state.
+        assert state["executor_state"]["inner"]["sentinel"] is not None
+
+    def test_checkpoint_without_sentinel_has_null_summary(self, tmp_path):
+        path = str(tmp_path / "n.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        assert load_checkpoint(path)["integrity"] is None
