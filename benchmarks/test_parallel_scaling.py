@@ -1,0 +1,69 @@
+"""Parallel-campaign scaling: aggregate throughput vs worker count.
+
+Each worker owns a full virtual machine and fuzzes the same virtual
+budget window concurrently, so the fleet's aggregate virtual throughput
+(total execs over one budget) should scale near-linearly with worker
+count, shaved only by sync-import overhead — the whole point of
+sharding a campaign.  The experiment sweeps 1/2/4/8 workers on every
+benchmark target and renders ``benchmarks/results/parallel_scaling.txt``.
+
+Acceptance floor asserted here: >= 2.5x aggregate virtual exec/s at 4
+workers vs 1 worker on at least 8 of the 10 targets.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.parallel import ParallelCampaign, ParallelConfig
+
+WORKER_COUNTS = (1, 2, 4, 8)
+BUDGET_NS = 6_000_000
+SYNC_NS = 2_000_000
+SEED = 7
+
+
+def _run(target: str, n_workers: int):
+    return ParallelCampaign(ParallelConfig(
+        target=target,
+        n_workers=n_workers,
+        seed=SEED,
+        budget_ns=BUDGET_NS,
+        sync_every_ns=SYNC_NS,
+    )).run()
+
+
+def test_parallel_scaling(config, results_dir):
+    header = (
+        f"{'target':<14}"
+        + "".join(f"{f'{n}w execs/vs':>14}" for n in WORKER_COUNTS)
+        + f"{'4w speedup':>12}{'8w speedup':>12}"
+    )
+    lines = [
+        "Aggregate virtual throughput vs worker count "
+        f"(budget {BUDGET_NS / 1e6:g} vms, sync {SYNC_NS / 1e6:g} vms, "
+        f"seed {SEED})",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    speedups_at_4 = {}
+    for target in config.targets:
+        rates = {}
+        for n_workers in WORKER_COUNTS:
+            result = _run(target, n_workers)
+            rates[n_workers] = result.aggregate_execs_per_vsecond
+        speedups_at_4[target] = rates[4] / rates[1]
+        lines.append(
+            f"{target:<14}"
+            + "".join(f"{rates[n]:>14,.0f}" for n in WORKER_COUNTS)
+            + f"{rates[4] / rates[1]:>11.2f}x"
+            + f"{rates[8] / rates[1]:>11.2f}x"
+        )
+    passing = sum(1 for s in speedups_at_4.values() if s >= 2.5)
+    lines += [
+        "-" * len(header),
+        f"targets with >= 2.5x aggregate throughput at 4 workers: "
+        f"{passing}/{len(speedups_at_4)}",
+    ]
+    save_result(results_dir, "parallel_scaling", "\n".join(lines))
+    assert passing >= min(8, len(speedups_at_4)), speedups_at_4

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The integrity sentinel at work: detect, attribute, repair.
+
+Runs a ClosureX campaign with the restore oracle at the strictest
+cadence (digest every exec) plus periodic fresh-VM shadow replays,
+then prints the sentinel's ledger.  On a healthy target the ledger is
+empty — that silence *is* the paper's correctness claim, continuously
+verified at runtime.  This is the README's Integrity snippet as a
+runnable script.
+
+Run:  python examples/integrity_check.py
+"""
+
+from repro.execution import ClosureXExecutor, SupervisedExecutor
+from repro.fuzzing import Campaign, CampaignConfig
+from repro.integrity import EscalationPolicy, IntegritySentinel
+from repro.sim_os import Kernel
+from repro.targets import get_target
+
+
+def main():
+    spec = get_target("zlib")
+    sentinel = IntegritySentinel(
+        EscalationPolicy(digest_every=1, shadow_every=64),
+    )
+    inner = ClosureXExecutor(
+        spec.build_closurex(), spec.image_bytes, Kernel(),
+        sentinel=sentinel,
+    )
+    campaign = Campaign(
+        SupervisedExecutor(inner), spec.seeds,
+        CampaignConfig(budget_ns=6_000_000, seed=7),
+    )
+    result = campaign.run()
+
+    summary = sentinel.ledger.summary()
+    print(f"campaign : {result.execs} execs, {result.edges_found} edges, "
+          f"{result.unique_crashes} unique crash(es)")
+    print(f"sentinel : {sentinel.stats.checks} digest checks, "
+          f"{sentinel.stats.shadow_runs} shadow replays")
+    print(f"ledger   : {summary}")
+    assert summary["leaks"] == 0, "ClosureX restoration leaked state!"
+    print("\nEvery post-restore state digest matched the pristine "
+          "post-boot baseline,\nand every shadowed input behaved "
+          "identically in a throwaway fresh VM:\nrestoration is doing "
+          "its job.  (The CI 'integrity' job additionally\nsabotages "
+          "each state dimension and asserts the sentinel heals it.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Observability tour: traces, AFL-style stats files, VM profiling.
+
+Everything is stamped in *virtual* nanoseconds — the simulated
+kernel's clock — so two runs with the same seed produce bit-identical
+traces and reports.  This is the README's Observability snippet as a
+runnable script.
+
+Run:  python examples/observability.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.execution import ClosureXExecutor
+from repro.fuzzing import Campaign, CampaignConfig
+from repro.sim_os import Kernel
+from repro.targets import get_target
+from repro.telemetry import ProfileReport, TelemetryConfig, read_jsonl
+
+
+def main():
+    spec = get_target("md4c")
+    out = Path(tempfile.mkdtemp(prefix="repro-observability-"))
+
+    config = CampaignConfig(budget_ns=6_000_000, seed=7)
+    config.telemetry = TelemetryConfig(
+        enabled=True,
+        sink="jsonl", jsonl_path=str(out / "trace.jsonl"),
+        report_dir=str(out),       # AFL-style fuzzer_stats + plot_data
+        profile_vm=True,           # per-opcode / per-libc-call counts
+    )
+    executor = ClosureXExecutor(
+        spec.build_closurex(), spec.image_bytes, Kernel()
+    )
+    campaign = Campaign(executor, spec.seeds, config)
+    result = campaign.run()
+    print(f"campaign: {result.execs} execs, {result.edges_found} edges, "
+          f"{result.unique_crashes} unique crash(es)\n")
+
+    print("afl-fuzz-style status (virtual-clock timestamps):")
+    print(campaign.reporter.render_status())
+
+    stats = (out / "fuzzer_stats").read_text().splitlines()
+    print(f"\n{out / 'fuzzer_stats'} (AFL++ key-value dialect):")
+    for line in stats[:8]:
+        print(f"  {line}")
+    print(f"  ... ({len(stats)} keys total; plot_data alongside)")
+
+    events = read_jsonl(str(out / "trace.jsonl"))
+    kinds = {}
+    for event in events:
+        kinds[event.name] = kinds.get(event.name, 0) + 1
+    top = sorted(kinds.items(), key=lambda kv: -kv[1])[:5]
+    print(f"\ntrace.jsonl: {len(events)} events; most frequent:")
+    for name, count in top:
+        print(f"  {count:6d}  {name}")
+
+    print("\nVM hot spots over the whole campaign:")
+    print(ProfileReport.from_executor(executor).render(top=5))
+
+    counters = campaign.telemetry.metrics.snapshot()["counters"]
+    print(f"metrics registry: exec.total={counters.get('exec.total')}")
+
+
+if __name__ == "__main__":
+    main()

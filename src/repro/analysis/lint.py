@@ -45,6 +45,8 @@ ALLOCATING_EXTERNS = frozenset({"malloc", "calloc", "realloc", "fopen"})
 
 
 class Severity(enum.Enum):
+    """Diagnostic severity levels the lint driver sorts and gates on."""
+
     WARNING = "warning"
     ERROR = "error"
 

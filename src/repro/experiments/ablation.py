@@ -25,6 +25,8 @@ from repro.vm.snapshot import NondetMask, diff_snapshots, take_snapshot
 
 @dataclass
 class PassAblationRow:
+    """One pass-ablation configuration: what breaks without it."""
+
     skipped_pass: str
     survives_exit: bool          # did the loop survive an exit() input?
     globals_clean: bool
@@ -43,6 +45,8 @@ class PassAblationRow:
 
 @dataclass
 class PassAblationResult:
+    """All ablation rows for one target, renderable as a table."""
+
     target: str
     rows: list[PassAblationRow]
 
@@ -120,6 +124,8 @@ def run_pass_ablation(target: str, inputs: list[bytes] | None = None) -> PassAbl
 
 @dataclass
 class FdRewindResult:
+    """Measured effect of the FilePass rewind-vs-reopen ablation."""
+
     target: str
     rewound_with_optimisation: int
     closed_without_optimisation: int

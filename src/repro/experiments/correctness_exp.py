@@ -29,6 +29,8 @@ from repro.targets import get_target
 
 @dataclass
 class CorrectnessRow:
+    """Per-target §6.1.4 equivalence verdicts (dataflow/CFG/memcheck)."""
+
     benchmark: str
     inputs_checked: int = 0
     dataflow_equivalent: int = 0
@@ -49,6 +51,8 @@ class CorrectnessRow:
 
 @dataclass
 class CorrectnessResult:
+    """The full correctness-validation table."""
+
     rows: list[CorrectnessRow]
     pollution_rounds: int
 

@@ -34,6 +34,8 @@ from repro.targets import get_target
 
 @dataclass
 class MechanismPoint:
+    """One mechanism's measured per-test-case cost breakdown."""
+
     mechanism: str
     ns_per_exec: float             # mean over all measured execs
     management_ns_per_exec: float
@@ -50,6 +52,8 @@ class MechanismPoint:
 
 @dataclass
 class SpectrumResult:
+    """The execution-mechanism spectrum figure (fresh → persistent)."""
+
     target: str
     points: list[MechanismPoint]
 
@@ -208,12 +212,16 @@ def run_restore_lifecycle(target: str, data: bytes | None = None) -> RestoreLife
 
 @dataclass
 class TimelineSeries:
+    """Coverage-over-virtual-time samples for one mechanism."""
+
     mechanism: str
     points: list[tuple[float, int, int]]  # (virtual secs, execs, edges)
 
 
 @dataclass
 class TimelineFigure:
+    """Coverage-timeline figure data for one target, all mechanisms."""
+
     target: str
     series: list[TimelineSeries] = field(default_factory=list)
 

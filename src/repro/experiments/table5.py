@@ -18,6 +18,8 @@ from repro.experiments.stats import format_count, format_table, mann_whitney_p, 
 
 @dataclass
 class Table5Row:
+    """One benchmark's throughput row (execs/s per mechanism)."""
+
     benchmark: str
     closurex_execs_24h: float
     aflpp_execs_24h: float
@@ -29,6 +31,8 @@ class Table5Row:
 
 @dataclass
 class Table5Result:
+    """The reproduced Table 5: throughput across all benchmarks."""
+
     rows: list[Table5Row]
     average_speedup: float
 

@@ -27,6 +27,8 @@ def edge_universe(target_name: str) -> int:
 
 @dataclass
 class Table6Row:
+    """One benchmark's coverage row (edges per mechanism + stats)."""
+
     benchmark: str
     closurex_coverage: float        # percent
     aflpp_coverage: float           # percent
@@ -38,6 +40,8 @@ class Table6Row:
 
 @dataclass
 class Table6Result:
+    """The reproduced Table 6: coverage across all benchmarks."""
+
     rows: list[Table6Row]
     average_improvement: float
 

@@ -22,6 +22,8 @@ BUG_TARGETS = ("c-blosc2", "gpmf-parser", "libbpf", "md4c")
 
 @dataclass
 class Table7Row:
+    """One planted bug's time-to-discovery row."""
+
     benchmark: str
     bug_id: str
     bug_type: str
@@ -42,6 +44,8 @@ class Table7Row:
 
 @dataclass
 class Table7Result:
+    """The reproduced Table 7: time-to-bug across the 15 bugs."""
+
     rows: list[Table7Row]
     trials: int
 

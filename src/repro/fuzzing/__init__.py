@@ -10,9 +10,11 @@ from repro.fuzzing.checkpoint import (
     CheckpointError,
     capture_state,
     load_checkpoint,
+    load_state,
     save_checkpoint,
+    save_state,
 )
-from repro.fuzzing.corpus import Corpus, QueueEntry
+from repro.fuzzing.corpus import Corpus, QueueEntry, input_hash
 from repro.fuzzing.coverage import (
     VirginMap,
     classify,
@@ -32,8 +34,9 @@ from repro.fuzzing.triage import (
 
 __all__ = [
     "Campaign", "CampaignConfig", "CampaignResult", "TimelinePoint",
-    "CheckpointError", "capture_state", "load_checkpoint", "save_checkpoint",
-    "Corpus", "QueueEntry",
+    "CheckpointError", "capture_state", "load_checkpoint", "load_state",
+    "save_checkpoint", "save_state",
+    "Corpus", "QueueEntry", "input_hash",
     "VirginMap", "classify", "coverage_signature", "edge_count",
     "HavocMutator", "deterministic_mutations",
     "CrashIdentity", "CrashReport", "CrashTriage", "HangReport",

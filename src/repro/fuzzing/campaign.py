@@ -36,6 +36,10 @@ class CampaignConfig:
 
     budget_ns: int = 200_000_000          # virtual time budget
     seed: int = 0                         # RNG seed (per-trial variation)
+    # Shard identity when this campaign is one worker of a parallel
+    # run (repro.parallel); 0 for a standalone campaign and for the
+    # main instance, AFL++'s -M/-S convention.
+    shard_id: int = 0
     # AFL++ skips the deterministic stage by default (its -D flag turns
     # it back on); we match that default.
     enable_deterministic: bool = False
@@ -69,6 +73,8 @@ class CampaignConfig:
 
 @dataclass
 class TimelinePoint:
+    """One sampled (virtual time, execs, coverage, crashes) tuple."""
+
     ns: int
     execs: int
     edges: int
@@ -128,6 +134,8 @@ class Campaign:
         self._sample_every = max(1, self.config.budget_ns // self.config.timeline_samples)
         self._resume_state: dict | None = None
         self._next_checkpoint_ns: int | None = None
+        self._deadline_ns = self.config.budget_ns
+        self._halted = False
         executor.exec_instruction_limit = self.config.exec_instruction_limit
         # Telemetry: the null stack unless the config opts in, in which
         # case the executor (and through it the kernel) share our tracer.
@@ -143,20 +151,26 @@ class Campaign:
         return self.executor.clock
 
     def run(self) -> CampaignResult:
+        """Boot, fuzz to the budget deadline, tear down, report.
+
+        The three phases are also available separately — :meth:`start`,
+        :meth:`step_until`, :meth:`finish_run` — which is how a parallel
+        worker interleaves fuzzing with sync barriers; ``run()`` is the
+        single-shard composition of the three.
+        """
+        self.start()
+        self.step_until(self._deadline_ns)
+        return self.finish_run()
+
+    def start(self) -> None:
+        """Phase 1: boot the executor and seed (or resume) the queue."""
         resumed = self._resume_state is not None
         start_ns = (
             self._resume_state["start_ns"] if resumed else self.clock.now_ns
         )
         self.run_start_ns = start_ns
-        deadline_ns = start_ns + self.config.budget_ns
-        # halt_at_ns models the fuzzer process dying mid-campaign.  The
-        # kill lands between stages — crucially *before* the periodic
-        # checkpoint that stage boundary would have written, so resume
-        # always replays from an earlier on-trajectory checkpoint.  The
-        # stages themselves always run against the true budget deadline;
-        # a halted run must not "gracefully wind down" into a state the
-        # uninterrupted run never passes through.
-        halt_ns = self.config.halt_at_ns
+        self._deadline_ns = start_ns + self.config.budget_ns
+        self._halted = False
         self._sample_every = max(
             1, self.config.budget_ns // self.config.timeline_samples
         )
@@ -188,7 +202,29 @@ class Campaign:
                 # leaves something to resume from.
                 self.checkpoint()
 
-        while self.clock.now_ns < deadline_ns and len(self.corpus):
+    def step_until(self, pause_ns: int) -> None:
+        """Phase 2: run queue cycles until the clock passes *pause_ns*
+        (a sync barrier) or the budget deadline, whichever is earlier.
+
+        The mutation stages themselves always run against the true
+        budget deadline — a barrier only decides where between cycles
+        the loop pauses — so a sharded run passes through exactly the
+        states of an unsharded one.
+        """
+        deadline_ns = self._deadline_ns
+        # halt_at_ns models the fuzzer process dying mid-campaign.  The
+        # kill lands between stages — crucially *before* the periodic
+        # checkpoint that stage boundary would have written, so resume
+        # always replays from an earlier on-trajectory checkpoint.  The
+        # stages themselves always run against the true budget deadline;
+        # a halted run must not "gracefully wind down" into a state the
+        # uninterrupted run never passes through.
+        halt_ns = self.config.halt_at_ns
+        tracer = self.telemetry.tracer
+        while (not self._halted
+               and self.clock.now_ns < deadline_ns
+               and self.clock.now_ns < pause_ns
+               and len(self.corpus)):
             entry = self.corpus.select_next(self.rng)
             self.current_entry_id = entry.entry_id
             if tracer.enabled:
@@ -209,11 +245,14 @@ class Campaign:
                 with tracer.span("stage.havoc", entry=entry.entry_id):
                     self._havoc_stage(entry, deadline_ns)
             if halt_ns is not None and self.clock.now_ns >= halt_ns:
+                self._halted = True
                 break
             self._maybe_checkpoint()
 
+    def finish_run(self) -> CampaignResult:
+        """Phase 3: tear down the executor and build the result."""
         self.executor.shutdown()
-        return self._finish(start_ns)
+        return self._finish(self.run_start_ns)
 
     # ------------------------------------------------------------------
     # checkpoint / resume
@@ -252,7 +291,21 @@ class Campaign:
         mechanism — its process state is re-booted, then the virtual
         clock is pinned back to the checkpointed instant.
         """
-        state = load_checkpoint(path)
+        return cls.from_state(load_checkpoint(path), executor, config)
+
+    @classmethod
+    def from_state(cls, state: dict, executor: Executor,
+                   config: CampaignConfig | None = None) -> "Campaign":
+        """Rebuild a campaign from an in-memory state dict (the
+        :func:`~repro.fuzzing.checkpoint.capture_state` shape).  This is
+        the resume primitive: :meth:`resume` loads the dict from disk,
+        the parallel orchestrator hands over the dict it captured at the
+        last sync barrier when replacing a dead worker."""
+        if state.get("kind", "campaign") != "campaign":
+            raise CheckpointError(
+                f"state is a {state.get('kind')!r} checkpoint, "
+                "not a single campaign"
+            )
         if executor.mechanism != state["mechanism"]:
             raise CheckpointError(
                 f"checkpoint is for mechanism {state['mechanism']!r}, "
@@ -372,6 +425,35 @@ class Campaign:
                         parent=parent.entry_id, depth=added.depth,
                         size=len(data),
                     )
+
+    def import_input(self, data: bytes) -> bool:
+        """Adopt an input discovered by another shard (sync import).
+
+        The input is executed here — charging this worker's virtual
+        clock, exactly like AFL++'s ``sync_fuzzers`` re-runs imported
+        queue files — and joins the queue only if it exhibits behaviour
+        this worker has not seen.  Unlike :meth:`_fuzz_one` the
+        NEW_COUNTS acceptance is unconditional (no RNG draw), so
+        imports never perturb the mutation RNG stream.  Returns whether
+        the input was adopted.
+        """
+        result = self._execute(data)
+        if result is None:
+            return False
+        novelty = self.virgin.observe(result.coverage)
+        if novelty == VirginMap.NO_NEW:
+            return False
+        added = self.corpus.add(
+            data, coverage_signature(result.coverage),
+            result.ns, self.clock.now_ns,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("corpus.imports").inc()
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.event(
+                    "corpus.import", entry=added.entry_id, size=len(data),
+                )
+        return True
 
     def _execute(self, data: bytes) -> ExecResult | None:
         result = self.executor.run(data)

@@ -56,8 +56,10 @@ def capture_state(campaign) -> dict:
     executor = campaign.executor
     return {
         "version": CHECKPOINT_VERSION,
+        "kind": "campaign",
         "mechanism": executor.mechanism,
         "seed": campaign.config.seed,
+        "shard_id": campaign.config.shard_id,
         "budget_ns": campaign.config.budget_ns,
         "start_ns": campaign.run_start_ns,
         "clock_ns": campaign.clock.now_ns,
@@ -103,9 +105,17 @@ def save_checkpoint(campaign, path: str, keep: int = DEFAULT_KEEP) -> None:
     Keeps up to *keep* generations: the fresh file at *path*, the
     previous one at ``path.1``, and so on.
     """
-    body = pickle.dumps(
-        capture_state(campaign), protocol=pickle.HIGHEST_PROTOCOL
-    )
+    save_state(capture_state(campaign), path, keep=keep)
+
+
+def save_state(state: dict, path: str, keep: int = DEFAULT_KEEP) -> None:
+    """Persist an arbitrary checkpoint state dict with the full
+    ``RPRCKPT1`` durability stack (atomic write, CRC framing,
+    rotation).  *state* must carry ``version`` (and a ``kind`` so
+    loaders can tell campaign and parallel checkpoints apart); the
+    single-campaign and multi-shard checkpoints share this framing.
+    """
+    body = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     payload = (
         CHECKPOINT_MAGIC
         + zlib.crc32(body).to_bytes(_CRC_BYTES, "little")
@@ -163,6 +173,12 @@ def load_checkpoint(path: str) -> dict:
     :class:`CheckpointError` (describing every failure) only when no
     generation is loadable.
     """
+    return load_state(path)
+
+
+def load_state(path: str) -> dict:
+    """Generation-fallback loader shared by campaign and parallel
+    checkpoints (see :func:`load_checkpoint` for the search order)."""
     failures: list[str] = []
     generation = 0
     while True:

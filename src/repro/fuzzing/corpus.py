@@ -9,9 +9,16 @@ average and its discovery depth.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
+
+
+def input_hash(data: bytes) -> str:
+    """Stable content identity of one corpus input — the dedup key the
+    multi-worker sync protocol exchanges instead of raw bytes."""
+    return hashlib.sha1(bytes(data)).hexdigest()
 
 
 @dataclass
@@ -45,6 +52,9 @@ class Corpus:
         self._cursor = 0
         # map cell -> best entry covering it (AFL's top_rated[]).
         self._top_rated: dict[int, QueueEntry] = {}
+        # High-water mark of export_new(): entries below it have already
+        # been offered to the sync hub (multi-worker corpus exchange).
+        self._export_cursor = 0
 
     def add(
         self,
@@ -123,3 +133,20 @@ class Corpus:
 
     def favored_count(self) -> int:
         return sum(1 for e in self.entries if e.favored)
+
+    # -- multi-worker sync support --------------------------------------
+
+    def export_new(self) -> list[QueueEntry]:
+        """Entries added since the previous call (discoveries to offer
+        at the next sync barrier).  Advances the export cursor, so each
+        entry is exported exactly once."""
+        # getattr: corpora unpickled from pre-parallel checkpoints lack
+        # the cursor; treat their whole queue as already exported.
+        cursor = getattr(self, "_export_cursor", len(self.entries))
+        fresh = self.entries[cursor:]
+        self._export_cursor = len(self.entries)
+        return fresh
+
+    def content_hashes(self) -> set[str]:
+        """Hashes of every input currently queued (sync-import dedup)."""
+        return {input_hash(e.data) for e in self.entries}

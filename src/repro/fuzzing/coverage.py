@@ -70,9 +70,41 @@ class VirginMap:
         new_edges = bool((new_bits[self.virgin == 0xFF]).any())
         return self.NEW_EDGES if new_edges else self.NEW_COUNTS
 
+    def observe_classified(self, signature: bytes) -> int:
+        """Fold in an *already classified* map (a corpus entry's
+        coverage signature, as exchanged between campaign shards);
+        returns the same NO_NEW / NEW_COUNTS / NEW_EDGES verdict as
+        :meth:`observe`."""
+        classified = np.frombuffer(signature, dtype=np.uint8)
+        new_bits = classified & self.virgin
+        if not new_bits.any():
+            return self.NO_NEW
+        new_edges = bool((new_bits[self.virgin == 0xFF]).any())
+        self.virgin &= ~classified
+        return self.NEW_EDGES if new_edges else self.NEW_COUNTS
+
+    def merge(self, other: "VirginMap") -> None:
+        """Union another map's observed behaviour into this one (the
+        multi-worker merged-coverage operation: virgin bits survive
+        only where *both* maps never saw the (edge, bucket))."""
+        if other.size != self.size:
+            raise ValueError("cannot merge virgin maps of different sizes")
+        self.virgin &= other.virgin
+
     def edges_found(self) -> int:
         """Number of map cells with at least one observed bucket."""
         return int((self.virgin != 0xFF).sum())
+
+    def to_bytes(self) -> bytes:
+        """The virgin map's exact contents (checkpoint / digest form)."""
+        return self.virgin.tobytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "VirginMap":
+        """Rebuild a map serialised with :meth:`to_bytes`."""
+        virgin = cls(size=len(payload))
+        virgin.virgin = np.frombuffer(payload, dtype=np.uint8).copy()
+        return virgin
 
 
 def edge_count(raw_map: bytearray | bytes) -> int:

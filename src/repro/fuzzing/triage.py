@@ -115,3 +115,32 @@ class CrashTriage:
     def first_hit_ns(self, identity: CrashIdentity) -> int | None:
         report = self.unique.get(identity)
         return report.found_at_ns if report is not None else None
+
+    def merge(self, other: "CrashTriage") -> None:
+        """Fold another shard's triage tables into this one.
+
+        Dedup identities are global (trap site / coverage digest), so
+        merging keeps one report per bug across all workers — the
+        earliest discovery (by that worker's virtual clock, ties broken
+        by merge order) — while occurrence and total counters sum.
+        """
+        self.total_crashes += other.total_crashes
+        for identity, report in other.unique.items():
+            existing = self.unique.get(identity)
+            if existing is None:
+                self.unique[identity] = report
+                continue
+            combined = existing.occurrences + report.occurrences
+            winner = min(existing, report, key=lambda r: r.found_at_ns)
+            winner.occurrences = combined
+            self.unique[identity] = winner
+        self.total_hangs += other.total_hangs
+        for digest, hang in other.unique_hangs.items():
+            existing_hang = self.unique_hangs.get(digest)
+            if existing_hang is None:
+                self.unique_hangs[digest] = hang
+                continue
+            combined = existing_hang.occurrences + hang.occurrences
+            winner = min(existing_hang, hang, key=lambda r: r.found_at_ns)
+            winner.occurrences = combined
+            self.unique_hangs[digest] = winner

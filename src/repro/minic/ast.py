@@ -39,6 +39,8 @@ class StructRef(TypeSpec):
 
 @dataclass
 class PointerTo(TypeSpec):
+    """``inner*``."""
+
     inner: TypeSpec
 
     def __str__(self) -> str:
@@ -47,6 +49,8 @@ class PointerTo(TypeSpec):
 
 @dataclass
 class ArrayOf(TypeSpec):
+    """``inner[count]`` (sized arrays only)."""
+
     inner: TypeSpec
     count: int
 
@@ -61,21 +65,29 @@ class ArrayOf(TypeSpec):
 
 @dataclass
 class Expr:
+    """Base class for expression nodes (carries the source location)."""
+
     location: SourceLocation
 
 
 @dataclass
 class IntLit(Expr):
+    """Integer or character literal, already folded to an int."""
+
     value: int
 
 
 @dataclass
 class StringLit(Expr):
+    """String literal, NUL-terminated bytes."""
+
     data: bytes
 
 
 @dataclass
 class Ident(Expr):
+    """A name reference (variable, global, or enum-like constant)."""
+
     name: str
 
 
@@ -97,6 +109,8 @@ class Postfix(Expr):
 
 @dataclass
 class Binary(Expr):
+    """Infix arithmetic/comparison/logical/bitwise operator."""
+
     op: str
     lhs: Expr
     rhs: Expr
@@ -113,6 +127,8 @@ class Assign(Expr):
 
 @dataclass
 class Ternary(Expr):
+    """``cond ? if_true : if_false``."""
+
     cond: Expr
     if_true: Expr
     if_false: Expr
@@ -120,12 +136,16 @@ class Ternary(Expr):
 
 @dataclass
 class Call(Expr):
+    """Function call by name (MiniC has no function pointers)."""
+
     name: str
     args: list[Expr]
 
 
 @dataclass
 class Index(Expr):
+    """``base[index]`` subscript."""
+
     base: Expr
     index: Expr
 
@@ -141,12 +161,16 @@ class Member(Expr):
 
 @dataclass
 class CastExpr(Expr):
+    """``(type)operand`` explicit cast."""
+
     target: TypeSpec
     operand: Expr
 
 
 @dataclass
 class SizeOf(Expr):
+    """``sizeof(type)``, folded to a constant during codegen."""
+
     target: TypeSpec
 
 
@@ -157,21 +181,29 @@ class SizeOf(Expr):
 
 @dataclass
 class Stmt:
+    """Base class for statement nodes (carries the source location)."""
+
     location: SourceLocation
 
 
 @dataclass
 class Block(Stmt):
+    """``{ ... }`` — a statement list opening a new scope."""
+
     statements: list[Stmt]
 
 
 @dataclass
 class ExprStmt(Stmt):
+    """An expression evaluated for its side effects."""
+
     expr: Expr
 
 
 @dataclass
 class VarDecl(Stmt):
+    """One local variable declarator, with optional initialiser."""
+
     name: str
     type: TypeSpec
     init: Expr | None
@@ -187,6 +219,8 @@ class DeclGroup(Stmt):
 
 @dataclass
 class If(Stmt):
+    """``if`` / ``else``."""
+
     cond: Expr
     then_body: Stmt
     else_body: Stmt | None
@@ -194,18 +228,24 @@ class If(Stmt):
 
 @dataclass
 class While(Stmt):
+    """``while`` loop."""
+
     cond: Expr
     body: Stmt
 
 
 @dataclass
 class DoWhile(Stmt):
+    """``do ... while`` loop (body runs at least once)."""
+
     body: Stmt
     cond: Expr
 
 
 @dataclass
 class For(Stmt):
+    """``for`` loop; any of init/cond/step may be absent."""
+
     init: Stmt | None
     cond: Expr | None
     step: Expr | None
@@ -214,28 +254,34 @@ class For(Stmt):
 
 @dataclass
 class SwitchCase:
+    """One ``case`` group; an empty value list is ``default``."""
+
     values: list[int]      # empty list == default
     body: list[Stmt]
 
 
 @dataclass
 class Switch(Stmt):
+    """``switch`` over an integer expression."""
+
     value: Expr
     cases: list[SwitchCase]
 
 
 @dataclass
 class Break(Stmt):
-    pass
+    """``break`` out of the innermost loop or switch."""
 
 
 @dataclass
 class Continue(Stmt):
-    pass
+    """``continue`` to the innermost loop's next iteration."""
 
 
 @dataclass
 class Return(Stmt):
+    """``return``, with optional value."""
+
     value: Expr | None
 
 
@@ -246,6 +292,8 @@ class Return(Stmt):
 
 @dataclass
 class StructDecl:
+    """Top-level ``struct`` definition."""
+
     name: str
     fields: list[tuple[str, TypeSpec]]
     location: SourceLocation
@@ -253,6 +301,8 @@ class StructDecl:
 
 @dataclass
 class GlobalDecl:
+    """Top-level global variable, with optional initialiser."""
+
     name: str
     type: TypeSpec
     init: Expr | None
@@ -262,12 +312,16 @@ class GlobalDecl:
 
 @dataclass
 class Param:
+    """One formal parameter of a function."""
+
     name: str
     type: TypeSpec
 
 
 @dataclass
 class FuncDecl:
+    """Function definition (or declaration when *body* is None)."""
+
     name: str
     return_type: TypeSpec
     params: list[Param]
@@ -277,6 +331,8 @@ class FuncDecl:
 
 @dataclass
 class TranslationUnit:
+    """A whole parsed source file: structs, globals, functions."""
+
     structs: list[StructDecl] = field(default_factory=list)
     globals: list[GlobalDecl] = field(default_factory=list)
     functions: list[FuncDecl] = field(default_factory=list)

@@ -17,6 +17,8 @@ from repro.minic.errors import LexError, SourceLocation
 
 
 class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
     IDENT = "ident"
     KEYWORD = "keyword"
     INT_LIT = "int"
@@ -61,6 +63,8 @@ _ESCAPES = {
 
 @dataclass
 class Token:
+    """One lexed token with its source location."""
+
     kind: TokenKind
     text: str
     location: SourceLocation

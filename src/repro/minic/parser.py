@@ -38,6 +38,8 @@ _TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "unsigned", "struct"}
 
 
 class Parser:
+    """Recursive-descent parser: token stream → TranslationUnit."""
+
     def __init__(self, tokens: list[Token]):
         self.tokens = tokens
         self.pos = 0

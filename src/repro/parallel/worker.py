@@ -1,0 +1,332 @@
+"""One shard of a parallel campaign: config, runtime, process entry.
+
+A worker owns a full single-campaign stack — its own :class:`Kernel`
+(so its own virtual clock), its own executor ladder (mechanism executor,
+optionally wrapped by an :class:`IntegritySentinel` and a
+:class:`SupervisedExecutor` with a per-worker chaos plan), and its own
+:class:`Campaign` — and advances it in *rounds* between sync barriers.
+
+Everything a worker does is a pure function of ``(WorkerConfig, the
+imports each round receives)``: seeds, RNG streams, fault plans and
+sentinel cadences are all derived deterministically from the campaign
+seed and the shard id, so running a worker inline, in a spawned
+process, or restored from a barrier snapshot after a crash produces
+bit-identical results.
+
+The module is **spawn-safe**: :func:`worker_process_main` is a
+top-level function, :class:`WorkerConfig` is a plain picklable
+dataclass, and the target program is rebuilt from the registry by name
+inside the child — nothing unpicklable ever crosses the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+
+from repro.chaos.plan import FaultInjector, FaultPlan
+from repro.execution import (
+    ClosureXExecutor,
+    Executor,
+    ForkServerExecutor,
+    FreshProcessExecutor,
+    NaivePersistentExecutor,
+    SupervisedExecutor,
+)
+from repro.fuzzing import Campaign, CampaignConfig, CampaignResult
+from repro.fuzzing.checkpoint import capture_state
+from repro.fuzzing.corpus import input_hash
+from repro.parallel.sync import RoundReport, SyncCandidate
+from repro.sim_os import Kernel
+from repro.targets import get_target
+from repro.telemetry import TelemetryConfig
+
+#: Mechanisms a worker knows how to build (same spellings as the
+#: experiment runner).
+WORKER_MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
+
+
+def derive_worker_seed(seed: int, shard_id: int) -> int:
+    """Per-shard RNG seed: a fixed integer mix of the campaign seed and
+    the shard id, so shards explore divergent mutation streams while the
+    whole fleet stays a pure function of ``(seed, n_workers)``."""
+    mixed = (seed * 0x9E3779B1 + (shard_id + 1) * 0x85EBCA77) & 0xFFFFFFFF
+    mixed ^= mixed >> 15
+    return mixed & 0x7FFFFFFF
+
+
+@dataclass
+class WorkerConfig:
+    """Everything needed to (re)build one shard, picklable for spawn."""
+
+    target: str                       # registry name (rebuilt in-process)
+    shard_id: int
+    n_workers: int
+    seed: int                         # campaign seed (shard seed derived)
+    budget_ns: int
+    mechanism: str = "closurex"
+    supervised: bool = True           # wrap in the self-healing ladder
+    chaos_faults: int = 0             # per-worker FaultPlan length (0=off)
+    sentinel_digest_every: int = 0    # integrity sentinel cadence (0=off)
+    sentinel_shadow_every: int = 0
+    enable_trim: bool = True
+    havoc_base_energy: int = 48
+    max_input_size: int = 1024
+    report_dir: str | None = None     # per-worker fuzzer_stats directory
+    # Capture a pickled barrier snapshot in every RoundReport.  The
+    # orchestrator turns this on when it needs restorable state — the
+    # process transport (worker replacement) or a coordinated
+    # checkpoint — and leaves it off otherwise, because serialising a
+    # grown corpus every round is pure overhead.
+    capture_barrier_state: bool = False
+    # Test hook (process transport only): die mid-round with this index,
+    # modelling a worker process crash the orchestrator must heal.
+    die_at_round: int | None = None
+
+    @property
+    def worker_seed(self) -> int:
+        return derive_worker_seed(self.seed, self.shard_id)
+
+    @property
+    def is_main(self) -> bool:
+        """Shard 0 is the main instance (AFL++'s ``-M``); the rest are
+        secondaries.  The roles differ only in labelling today — every
+        shard trims and havocs — but the split is where main-only
+        stages (deterministic mutation) would attach."""
+        return self.shard_id == 0
+
+    def campaign_config(self) -> CampaignConfig:
+        config = CampaignConfig(
+            budget_ns=self.budget_ns,
+            seed=self.worker_seed,
+            shard_id=self.shard_id,
+            enable_trim=self.enable_trim,
+            havoc_base_energy=self.havoc_base_energy,
+            max_input_size=self.max_input_size,
+        )
+        if self.report_dir is not None:
+            config.telemetry = TelemetryConfig(
+                enabled=True, sink="null", report_dir=self.report_dir,
+            )
+        return config
+
+
+def build_worker_executor(config: WorkerConfig) -> Executor:
+    """Construct this shard's executor ladder from its config."""
+    spec = get_target(config.target)
+    kernel = Kernel()
+    sentinel = None
+    if config.sentinel_digest_every or config.sentinel_shadow_every:
+        from repro.integrity import EscalationPolicy, IntegritySentinel
+        sentinel = IntegritySentinel(EscalationPolicy(
+            digest_every=config.sentinel_digest_every,
+            shadow_every=config.sentinel_shadow_every,
+        ))
+    if config.mechanism == "closurex":
+        inner: Executor = ClosureXExecutor(
+            spec.build_closurex(), spec.image_bytes, kernel,
+            sentinel=sentinel,
+        )
+    elif config.mechanism == "forkserver":
+        inner = ForkServerExecutor(
+            spec.build_baseline(), spec.image_bytes, kernel
+        )
+    elif config.mechanism == "persistent":
+        inner = NaivePersistentExecutor(
+            spec.build_persistent(), spec.image_bytes, kernel
+        )
+    elif config.mechanism == "fresh":
+        inner = FreshProcessExecutor(
+            spec.build_baseline(), spec.image_bytes, kernel
+        )
+    else:
+        raise ValueError(f"unknown mechanism {config.mechanism!r}")
+    if not config.supervised:
+        return inner
+    injector = None
+    if config.chaos_faults:
+        injector = FaultInjector(
+            FaultPlan.generate(config.worker_seed, config.chaos_faults),
+            clock=kernel.clock,
+        )
+    fallback = None
+    if config.mechanism == "closurex":
+        def fallback() -> Executor:
+            return ForkServerExecutor(
+                spec.build_baseline(), spec.image_bytes, kernel
+            )
+    return SupervisedExecutor(inner, injector=injector,
+                              fallback_factory=fallback)
+
+
+@dataclass
+class WorkerFinal:
+    """A finished shard's contribution to the merged result."""
+
+    shard_id: int
+    result: CampaignResult
+    virgin_bytes: bytes           # full local virgin map (to_bytes)
+    triage: object                # CrashTriage (merged at the top)
+    corpus_hashes: list[str] = field(default_factory=list)
+
+
+class WorkerRuntime:
+    """One live shard: a campaign advanced round-by-round."""
+
+    def __init__(self, config: WorkerConfig, state: bytes | None = None):
+        self.config = config
+        self.executor = build_worker_executor(config)
+        campaign_config = config.campaign_config()
+        if state is not None:
+            # *state* is a pickled barrier snapshot (RoundReport.state).
+            self.campaign = Campaign.from_state(
+                pickle.loads(state), self.executor, campaign_config
+            )
+        else:
+            spec = get_target(config.target)
+            self.campaign = Campaign(
+                self.executor, spec.seeds, campaign_config
+            )
+        # Hashes this shard already holds or has already offered; used
+        # to drop duplicate imports and to avoid re-exporting entries
+        # the hub is guaranteed to know.
+        self._known_hashes: set[str] = set()
+
+    def start(self) -> RoundReport:
+        """Boot + seed (or restore), and report the barrier-0 state."""
+        self.campaign.start()
+        # The common seed corpus is known fleet-wide: exclude it from
+        # the export stream (restore replays this bookkeeping too,
+        # because export cursors travel inside the corpus state).
+        for entry in self.campaign.corpus.export_new():
+            self._known_hashes.add(input_hash(entry.data))
+        self._known_hashes |= self.campaign.corpus.content_hashes()
+        return self._report(round_index=-1, imported=0, discoveries=[])
+
+    def run_round(self, round_index: int, deadline_ns: int,
+                  imports: list[bytes]) -> RoundReport:
+        """Adopt this barrier's imports, fuzz to the round deadline,
+        and report discoveries + a barrier state snapshot."""
+        imported = 0
+        for data in imports:
+            key = input_hash(data)
+            if key in self._known_hashes:
+                continue
+            self._known_hashes.add(key)
+            if self.campaign.import_input(data):
+                imported += 1
+        # Imports joined the queue via corpus.add and would re-export;
+        # flush the cursor past them (the hub already knows them).
+        self.campaign.corpus.export_new()
+        self.campaign.step_until(deadline_ns)
+        discoveries = []
+        for entry in self.campaign.corpus.export_new():
+            key = input_hash(entry.data)
+            if key in self._known_hashes:
+                continue
+            self._known_hashes.add(key)
+            discoveries.append(
+                SyncCandidate.from_entry(self.config.shard_id, entry)
+            )
+        return self._report(round_index, imported, discoveries)
+
+    def finish(self) -> WorkerFinal:
+        """Tear down and hand the merged-result ingredients upward."""
+        result = self.campaign.finish_run()
+        return WorkerFinal(
+            shard_id=self.config.shard_id,
+            result=result,
+            virgin_bytes=self.campaign.virgin.to_bytes(),
+            triage=self.campaign.triage,
+            corpus_hashes=sorted(self.campaign.corpus.content_hashes()),
+        )
+
+    def _report(self, round_index: int, imported: int,
+                discoveries: list[SyncCandidate]) -> RoundReport:
+        campaign = self.campaign
+        state = None
+        if self.config.capture_barrier_state:
+            # Serialise *now*: the report must freeze the barrier state,
+            # not alias live objects the next round will mutate.
+            state = pickle.dumps(
+                capture_state(campaign), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return RoundReport(
+            shard_id=self.config.shard_id,
+            round_index=round_index,
+            clock_ns=campaign.clock.now_ns,
+            execs=campaign.execs,
+            edges_found=campaign.virgin.edges_found(),
+            corpus_size=len(campaign.corpus),
+            unique_crashes=campaign.triage.unique_count,
+            total_crashes=campaign.triage.total_crashes,
+            unique_hangs=campaign.triage.unique_hang_count,
+            imported=imported,
+            discoveries=discoveries,
+            state=state,
+        )
+
+
+# ----------------------------------------------------------------------
+# process transport entry point
+# ----------------------------------------------------------------------
+
+def worker_process_main(conn, config: WorkerConfig) -> None:
+    """Spawned-child main loop: serve orchestrator commands over *conn*.
+
+    Protocol (one reply per command, in order):
+
+    - ``("start", state_or_None)`` → ``("started", RoundReport)``
+    - ``("round", index, deadline_ns, imports)`` → ``("round", RoundReport)``
+    - ``("finish",)`` → ``("finished", WorkerFinal)``
+    - ``("stop",)`` → child exits.
+
+    The ``die_at_round`` test hook makes the child ``os._exit`` halfway
+    through the matching round — after real fuzzing work, with state the
+    orchestrator never sees — which is exactly the failure the
+    replacement path must heal from the previous barrier snapshot.
+    """
+    runtime: WorkerRuntime | None = None
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "start":
+                runtime = WorkerRuntime(config, state=command[1])
+                conn.send(("started", runtime.start()))
+            elif op == "round":
+                assert runtime is not None, "round before start"
+                _, round_index, deadline_ns, imports = command
+                if config.die_at_round == round_index:
+                    # Burn real progress first so the crash loses work:
+                    # the replacement must not be able to cheat by
+                    # replaying a half-synced state.
+                    midpoint = (
+                        runtime.campaign.clock.now_ns
+                        + max(1, (deadline_ns
+                                  - runtime.campaign.clock.now_ns) // 2)
+                    )
+                    runtime.campaign.step_until(midpoint)
+                    conn.close()
+                    os._exit(17)
+                conn.send((
+                    "round",
+                    runtime.run_round(round_index, deadline_ns, imports),
+                ))
+            elif op == "finish":
+                assert runtime is not None, "finish before start"
+                conn.send(("finished", runtime.finish()))
+            elif op == "stop":
+                return
+            else:
+                raise ValueError(f"unknown worker command {op!r}")
+    except EOFError:
+        # Orchestrator went away; nothing useful left to do.
+        return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

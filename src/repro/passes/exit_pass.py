@@ -26,6 +26,9 @@ HOOKABLE = ("exit", "abort")
 
 
 class ExitPass(ModulePass):
+    """Table 3's exit() pass: rewrite ``exit`` calls into a longjmp
+    back to the harness loop so the process survives."""
+
     name = "ExitPass"
 
     def __init__(self, hook_abort: bool = False):

@@ -26,6 +26,9 @@ FILE_WRAPPERS = {
 
 
 class FilePass(ModulePass):
+    """Table 3's FILE pass: route fopen-family calls through the
+    harness's handle tracker so leaked handles are closed on restore."""
+
     name = "FilePass"
 
     def __init__(self, extra_opens: list[str] | None = None,

@@ -25,6 +25,9 @@ CLOSURE_GLOBAL_SECTION = "closure_global_section"
 
 
 class GlobalPass(ModulePass):
+    """Table 3's globals pass: move writable globals into a dedicated
+    section the harness snapshots at boot and restores per iteration."""
+
     name = "GlobalPass"
 
     def __init__(self, section: str = CLOSURE_GLOBAL_SECTION,

@@ -26,6 +26,9 @@ HEAP_WRAPPERS = {
 
 
 class HeapPass(ModulePass):
+    """Table 3's heap pass: route malloc-family calls through the
+    harness's chunk map so leaked chunks are freed on restore."""
+
     name = "HeapPass"
 
     def __init__(self, extra_allocators: dict[str, str] | None = None):

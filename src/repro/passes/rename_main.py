@@ -15,6 +15,9 @@ TARGET_MAIN = "target_main"
 
 
 class RenameMainPass(ModulePass):
+    """Table 3's main() pass: rename ``main`` and emit the harness
+    entry that loops test cases through it (paper Listing 1)."""
+
     name = "RenameMainPass"
 
     def __init__(self, original: str = "main", replacement: str = TARGET_MAIN):

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 @dataclass
 class ChunkRecord:
+    """One tracked heap allocation (address, size, init-phase flag)."""
+
     address: int
     size: int
     init: bool

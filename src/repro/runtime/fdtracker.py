@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 @dataclass
 class HandleRecord:
+    """One tracked FILE handle (id, path, init-phase flag)."""
+
     handle: int
     path: str
     init: bool

@@ -54,6 +54,8 @@ DEFAULT_INPUT_PATH = "/fuzz/input"
 
 
 class IterationStatus(enum.Enum):
+    """Outcome categories of one harness loop iteration."""
+
     OK = "ok"                    # target_main returned normally
     EXIT = "exit"                # hooked exit() -> longjmp to harness
     PROCESS_EXIT = "process_exit"  # unhooked exit(): process died

@@ -46,6 +46,8 @@ class VirtualClock:
 
 
 class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
     RUNNING = "running"
     EXITED = "exited"
     CRASHED = "crashed"

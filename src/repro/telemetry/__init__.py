@@ -28,7 +28,11 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.profile import HotSpot, ProfileReport
-from repro.telemetry.reporter import PLOT_HEADER, CampaignReporter
+from repro.telemetry.reporter import (
+    PLOT_HEADER,
+    CampaignReporter,
+    write_stats_files,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     JSONLSink,
@@ -44,7 +48,7 @@ __all__ = [
     "DEFAULT_BOUNDS", "NULL_METRICS", "Counter", "Gauge", "Histogram",
     "MetricsRegistry",
     "HotSpot", "ProfileReport",
-    "PLOT_HEADER", "CampaignReporter",
+    "PLOT_HEADER", "CampaignReporter", "write_stats_files",
     "NULL_TRACER", "JSONLSink", "NullSink", "RingBufferSink",
     "TraceEvent", "Tracer", "read_jsonl",
 ]

@@ -29,6 +29,27 @@ PLOT_HEADER = (
 )
 
 
+def write_stats_files(out_dir: str, stats: dict[str, object],
+                      plot_rows: list[str], plot_header: str) -> None:
+    """Materialise one AFL-style ``fuzzer_stats`` + ``plot_data`` pair.
+
+    Shared by the per-campaign :class:`CampaignReporter` and the
+    parallel orchestrator's merged reporter, so every stats directory
+    in the tree — single campaign, per-worker shard, or aggregate —
+    speaks the same on-disk dialect.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    width = max(len(k) for k in stats)
+    lines = [f"{key.ljust(width)} : {value}" for key, value in stats.items()]
+    with open(os.path.join(out_dir, "fuzzer_stats"), "w",
+              encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with open(os.path.join(out_dir, "plot_data"), "w",
+              encoding="utf-8") as handle:
+        handle.write(plot_header + "\n")
+        handle.write("\n".join(plot_rows) + "\n")
+
+
 class CampaignReporter:
     """Periodic AFL-style stats materialisation for one campaign."""
 
@@ -95,6 +116,7 @@ class CampaignReporter:
             "map_density": f"{100.0 * edges / COVERAGE_MAP_SIZE:.2f}%",
             "stability": f"{stability:.2f}%",
             "target_mode": executor.mechanism,
+            "shard_id": getattr(campaign.config, "shard_id", 0),
             "command_line": f"repro-fuzz --mechanism {executor.mechanism}",
         }
         if supervision is not None:
@@ -138,15 +160,7 @@ class CampaignReporter:
         )
 
     def _write_files(self, stats: dict[str, object]) -> None:
-        width = max(len(k) for k in stats)
-        lines = [f"{key.ljust(width)} : {value}" for key, value in stats.items()]
-        with open(os.path.join(self.out_dir, "fuzzer_stats"), "w",
-                  encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + "\n")
-        with open(os.path.join(self.out_dir, "plot_data"), "w",
-                  encoding="utf-8") as handle:
-            handle.write(PLOT_HEADER + "\n")
-            handle.write("\n".join(self.plot_rows) + "\n")
+        write_stats_files(self.out_dir, stats, self.plot_rows, PLOT_HEADER)
 
     # ------------------------------------------------------------------
     # one-screen status UI
