@@ -1,0 +1,81 @@
+"""Wall-clock throughput sanity bench (real seconds, not virtual ns).
+
+A pytest-shaped shim over :mod:`tools.bench`: runs the same
+measurement at small scale and pins the schema so the
+``BENCH_wallclock.json`` artifact written by ``python tools/bench.py``
+can't silently drift.  Throughput numbers themselves are machine-
+dependent and only sanity-checked (positive, persistent-family faster
+per-exec than fresh-process in virtual time).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_BENCH_PY = pathlib.Path(__file__).parent.parent / "tools" / "bench.py"
+_spec = importlib.util.spec_from_file_location("repro_bench", _BENCH_PY)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+CELL_KEYS = {
+    "target", "mechanism", "execs", "wall_s", "execs_per_s",
+    "virtual_ns_per_exec",
+}
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return bench.run_bench(
+        targets=["giftext"],
+        mechanisms=["closurex", "fresh"],
+        execs=30,
+    )
+
+
+def test_report_schema(small_report):
+    assert small_report["schema"] == "repro-bench-wallclock/1"
+    assert set(small_report["host"]) == {
+        "python", "implementation", "machine", "system",
+    }
+    assert small_report["execs_per_cell"] == 30
+    assert len(small_report["cells"]) == 2
+    for cell in small_report["cells"]:
+        assert set(cell) == CELL_KEYS
+
+
+def test_throughput_is_positive_and_timed(small_report):
+    for cell in small_report["cells"]:
+        assert cell["execs"] == 30
+        assert cell["wall_s"] > 0
+        assert cell["execs_per_s"] > 0
+        assert cell["virtual_ns_per_exec"] > 0
+
+
+def test_closurex_cheaper_than_fresh_in_virtual_time(small_report):
+    by_mechanism = {c["mechanism"]: c for c in small_report["cells"]}
+    assert (
+        by_mechanism["closurex"]["virtual_ns_per_exec"]
+        < by_mechanism["fresh"]["virtual_ns_per_exec"]
+    )
+
+
+def test_report_is_json_serialisable(small_report):
+    text = json.dumps(small_report, sort_keys=True)
+    assert json.loads(text) == small_report
+
+
+def test_checked_in_artifact_matches_schema():
+    """The committed BENCH_wallclock.json must stay schema-valid."""
+    path = pathlib.Path(__file__).parent.parent / "BENCH_wallclock.json"
+    if not path.exists():
+        pytest.skip("BENCH_wallclock.json not generated yet")
+    report = json.loads(path.read_text())
+    assert report["schema"] == "repro-bench-wallclock/1"
+    assert report["cells"], "artifact has no measurement cells"
+    for cell in report["cells"]:
+        assert set(cell) == CELL_KEYS
+        assert cell["execs_per_s"] > 0

@@ -10,6 +10,12 @@ Index (see DESIGN.md §3 for the full mapping):
 - E6 figures 3-5 (:func:`run_global_pass_figure`, :func:`run_restore_lifecycle`)
 - E7 motivation (:func:`run_motivation`) — persistent-mode pathologies
 - E8 ablations (:func:`run_pass_ablation`, :func:`run_fd_rewind_ablation`)
+
+``python -m repro.experiments`` lists and runs these entry points from
+the command line.  Beyond the paper's fixed tables, the
+:mod:`repro.experiments.platform` subpackage runs arbitrary
+(mechanism x target x seed x config) matrices with fuzzbench-style
+statistics — see docs/experiments.md.
 """
 
 from repro.experiments.ablation import (
@@ -49,12 +55,16 @@ from repro.experiments.motivation import (
     run_motivation,
 )
 from repro.experiments.stats import (
+    a12_magnitude,
+    bootstrap_ci,
     format_count,
     format_table,
     mann_whitney_p,
+    mann_whitney_u,
     mean,
     median,
     stddev,
+    vargha_delaney_a12,
 )
 from repro.experiments.table5 import Table5Result, Table5Row, run_table5
 from repro.experiments.table6 import Table6Result, Table6Row, edge_universe, run_table6
@@ -71,8 +81,9 @@ __all__ = [
     "run_global_pass_figure", "run_restore_lifecycle", "run_spectrum",
     "run_timeline",
     "DEMO_SOURCE", "MotivationReport", "build_demo_modules", "run_motivation",
-    "format_count", "format_table", "mann_whitney_p", "mean", "median",
-    "stddev",
+    "a12_magnitude", "bootstrap_ci", "format_count", "format_table",
+    "mann_whitney_p", "mann_whitney_u", "mean", "median", "stddev",
+    "vargha_delaney_a12",
     "Table5Result", "Table5Row", "run_table5",
     "Table6Result", "Table6Row", "edge_universe", "run_table6",
     "BUG_TARGETS", "Table7Result", "Table7Row", "run_table7",

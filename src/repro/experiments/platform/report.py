@@ -1,0 +1,299 @@
+"""The report generator: ranked, statistically grounded comparisons.
+
+Consumes a completed results store and produces, per target, a ranking
+of arms by median final edge coverage with bootstrap confidence
+intervals, a pairwise-comparison table (two-sided Mann-Whitney U
+p-value plus Vargha-Delaney Â₁₂ effect size with its verbal magnitude,
+the discipline fuzzbench's ``stat_tests`` applies), and the
+coverage-growth-over-virtual-time curve of every arm (pointwise median
+across trials, sampled on the measurement grid).  An overall ranking
+averages each arm's per-target rank.
+
+Output is markdown for humans and canonical JSON for machines; both
+are pure functions of the store's bytes, so the report digest is as
+reproducible as the store digest — the property the CI smoke test
+pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+
+from repro.experiments.platform.spec import ExperimentSpec
+from repro.experiments.platform.store import ResultsStore
+from repro.experiments.stats import (
+    a12_magnitude,
+    bootstrap_ci,
+    mann_whitney_p,
+    median,
+    vargha_delaney_a12,
+)
+from repro.vm.interpreter import COVERAGE_MAP_SIZE
+
+#: Unicode sparkline ramp for the markdown coverage curves.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _round(value: float, digits: int = 6) -> float:
+    """Stable rounding for floats destined for canonical JSON."""
+    return round(float(value), digits)
+
+
+def _sparkline(values: list[float]) -> str:
+    """Eight-level text sparkline (empty string for no data)."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int(v / top * (len(_SPARK) - 1)))]
+        for v in values
+    )
+
+
+class ReportError(RuntimeError):
+    """A store that cannot be turned into a report."""
+
+
+class ReportGenerator:
+    """Builds the experiment report from a results store (see module
+    docstring for what the report contains)."""
+
+    def __init__(self, store: ResultsStore):
+        self.store = store
+        if not os.path.exists(store.spec_path):
+            raise ReportError(f"store {store.root!r} has no spec.json")
+        self.spec = ExperimentSpec.from_json_file(store.spec_path)
+
+    # -- aggregation ----------------------------------------------------
+
+    def _cells(self) -> dict[tuple[str, str], list[dict]]:
+        """(target, arm label) -> per-trial dicts with finals + curves."""
+        cells: dict[tuple[str, str], list[dict]] = {}
+        for trial in self.spec.enumerate_trials():
+            records = self.store.read(trial.trial_id)
+            if not records or records[-1].get("kind") != "final":
+                raise ReportError(
+                    f"trial {trial.trial_id!r} is incomplete; run the "
+                    "scheduler to completion before reporting"
+                )
+            samples = [r for r in records if r.get("kind") == "sample"]
+            cells.setdefault((trial.target, trial.arm.label), []).append({
+                "final": records[-1],
+                "t_ns": [s["t_ns"] for s in samples],
+                "edges": [s["edges"] for s in samples],
+            })
+        return cells
+
+    @staticmethod
+    def _arm_summary(trials: list[dict], ci_seed: int) -> dict:
+        finals = [t["final"] for t in trials]
+        edges = [float(f["edges"]) for f in finals]
+        execs = [float(f["execs"]) for f in finals]
+        ci = bootstrap_ci(edges, seed=ci_seed)
+        return {
+            "trials": len(finals),
+            "final_edges": [int(e) for e in edges],
+            "final_execs": [int(x) for x in execs],
+            "unique_crashes": [f["unique_crashes"] for f in finals],
+            "median_edges": _round(median(edges)),
+            "median_density": _round(median(edges) / COVERAGE_MAP_SIZE),
+            "edges_ci95": [_round(ci[0]), _round(ci[1])],
+            "median_execs": _round(median(execs)),
+        }
+
+    def build(self) -> dict:
+        """The full report as a plain-data dict (canonical-JSON-able)."""
+        cells = self._cells()
+        arm_labels = [arm.label for arm in self.spec.arms]
+        targets: dict[str, dict] = {}
+        curves: dict[str, dict] = {}
+        rank_sums = {label: 0 for label in arm_labels}
+
+        for target in self.spec.targets:
+            arms: dict[str, dict] = {}
+            for label in arm_labels:
+                trials = cells[(target, label)]
+                ci_seed = zlib.crc32(f"{target}:{label}".encode())
+                arms[label] = self._arm_summary(trials, ci_seed)
+
+            # Rank by median final edges, descending; ties break on the
+            # label so the order is total and deterministic.
+            ranking = sorted(
+                arm_labels,
+                key=lambda label: (-arms[label]["median_edges"], label),
+            )
+            for rank, label in enumerate(ranking, start=1):
+                rank_sums[label] += rank
+
+            pairwise = []
+            for i, label_a in enumerate(ranking):
+                for label_b in ranking[i + 1:]:
+                    edges_a = [float(e) for e in arms[label_a]["final_edges"]]
+                    edges_b = [float(e) for e in arms[label_b]["final_edges"]]
+                    a12 = vargha_delaney_a12(edges_a, edges_b)
+                    pairwise.append({
+                        "a": label_a,
+                        "b": label_b,
+                        "p_value": _round(mann_whitney_p(edges_a, edges_b)),
+                        "a12": _round(a12),
+                        "magnitude": a12_magnitude(a12),
+                        "median_diff": _round(
+                            median(edges_a) - median(edges_b)
+                        ),
+                    })
+            targets[target] = {
+                "arms": arms,
+                "ranking": ranking,
+                "pairwise": pairwise,
+            }
+
+            # Coverage-growth curves: the per-cell measurement grids are
+            # identical across trials by construction, so the pointwise
+            # median over trials is well defined.
+            target_curves: dict[str, dict] = {}
+            for label in arm_labels:
+                trials = cells[(target, label)]
+                grid = trials[0]["t_ns"]
+                for trial in trials[1:]:
+                    if trial["t_ns"] != grid:
+                        raise ReportError(
+                            f"misaligned measurement grids in "
+                            f"{target}/{label}"
+                        )
+                median_curve = [
+                    _round(median([
+                        float(trial["edges"][i]) for trial in trials
+                    ]))
+                    for i in range(len(grid))
+                ]
+                target_curves[label] = {
+                    "t_ns": grid,
+                    "median_edges": median_curve,
+                    "per_trial_edges": [trial["edges"] for trial in trials],
+                }
+            curves[target] = target_curves
+
+        overall = sorted(
+            arm_labels,
+            key=lambda label: (rank_sums[label], label),
+        )
+        return {
+            "experiment": {
+                "name": self.spec.name,
+                "spec_digest": self.spec.digest(),
+                "spec": self.spec.to_dict(),
+            },
+            "targets": targets,
+            "curves": curves,
+            "overall": {
+                "ranking": overall,
+                "mean_rank": {
+                    label: _round(rank_sums[label] / len(self.spec.targets))
+                    for label in arm_labels
+                },
+            },
+        }
+
+    # -- rendering ------------------------------------------------------
+
+    @staticmethod
+    def to_json(report: dict) -> str:
+        """Canonical JSON text of a built report."""
+        return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def digest(cls, report: dict) -> str:
+        """sha256 of the canonical JSON form."""
+        return hashlib.sha256(cls.to_json(report).encode()).hexdigest()
+
+    def to_markdown(self, report: dict) -> str:
+        """Human-readable report (see docs/experiments.md for how to
+        read the Â₁₂ / p-value columns)."""
+        lines: list[str] = []
+        experiment = report["experiment"]
+        lines.append(f"# Experiment report: {experiment['name']}")
+        lines.append("")
+        lines.append(f"- spec digest: `{experiment['spec_digest']}`")
+        spec = experiment["spec"]
+        lines.append(
+            f"- matrix: {len(spec['targets'])} target(s) x "
+            f"{len(report['overall']['ranking'])} arm(s) x "
+            f"{spec['trials']} trial(s), "
+            f"budget {spec['budget_ns']} virtual ns, "
+            f"measured every {spec['measure_every_ns']} virtual ns"
+        )
+        lines.append("")
+        lines.append("## Overall ranking")
+        lines.append("")
+        lines.append("| rank | arm | mean per-target rank |")
+        lines.append("|-----:|-----|---------------------:|")
+        for rank, label in enumerate(report["overall"]["ranking"], start=1):
+            mean_rank = report["overall"]["mean_rank"][label]
+            lines.append(f"| {rank} | {label} | {mean_rank:.2f} |")
+
+        for target, data in sorted(report["targets"].items()):
+            lines.append("")
+            lines.append(f"## {target}")
+            lines.append("")
+            lines.append(
+                "| rank | arm | median edges | 95% CI | density "
+                "| median execs | growth |"
+            )
+            lines.append(
+                "|-----:|-----|-------------:|-------|--------:"
+                "|-------------:|--------|"
+            )
+            for rank, label in enumerate(data["ranking"], start=1):
+                arm = data["arms"][label]
+                ci = arm["edges_ci95"]
+                spark = _sparkline(
+                    report["curves"][target][label]["median_edges"]
+                )
+                lines.append(
+                    f"| {rank} | {label} | {arm['median_edges']:.1f} "
+                    f"| [{ci[0]:.1f}, {ci[1]:.1f}] "
+                    f"| {arm['median_density']:.4%} "
+                    f"| {arm['median_execs']:.0f} | `{spark}` |"
+                )
+            if data["pairwise"]:
+                lines.append("")
+                lines.append(
+                    "| comparison | p-value | Â₁₂ | magnitude "
+                    "| median Δedges |"
+                )
+                lines.append(
+                    "|------------|--------:|----:|-----------"
+                    "|--------------:|"
+                )
+                for pair in data["pairwise"]:
+                    lines.append(
+                        f"| {pair['a']} vs {pair['b']} "
+                        f"| {pair['p_value']:.4f} | {pair['a12']:.3f} "
+                        f"| {pair['magnitude']} "
+                        f"| {pair['median_diff']:+.1f} |"
+                    )
+        lines.append("")
+        lines.append(
+            "_Â₁₂ > 0.5: the first arm stochastically dominates; "
+            "p-value: two-sided Mann-Whitney U; CI: percentile "
+            "bootstrap of the median._"
+        )
+        lines.append("")
+        return "\n".join(lines)
+
+    def write(self) -> tuple[dict, str]:
+        """Build the report and write ``report.json`` + ``report.md``
+        into the store root; returns (report, report digest)."""
+        report = self.build()
+        json_path = os.path.join(self.store.root, "report.json")
+        md_path = os.path.join(self.store.root, "report.md")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(report) + "\n")
+        with open(md_path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_markdown(report))
+        return report, self.digest(report)

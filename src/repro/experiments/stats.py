@@ -1,11 +1,16 @@
-"""Statistics helpers for the evaluation (Mann-Whitney U, formatting).
+"""Statistics helpers for the evaluation and the experiment platform.
 
 The paper reports Mann-Whitney U p-values over 5 independent trials per
 configuration (§5.4); :func:`mann_whitney_p` wraps scipy's exact test
-the same way.
+the same way.  The experiment platform (``repro.experiments.platform``)
+additionally ranks arms with the Vargha-Delaney Â₁₂ effect size and
+bootstrap confidence intervals — the toolkit fuzzbench's ``stat_tests``
+applies to fuzzer comparisons.
 """
 
 from __future__ import annotations
+
+import random
 
 from scipy import stats
 
@@ -21,6 +26,95 @@ def mann_whitney_p(sample_a: list[float], sample_b: list[float]) -> float:
     except ValueError:
         return 1.0
     return float(result.pvalue)
+
+
+def mann_whitney_u(sample_a: list[float], sample_b: list[float]) -> float:
+    """The U statistic for *sample_a*: wins plus half-credit for ties.
+
+    ``U_a = #{(a, b) : a > b} + 0.5 * #{(a, b) : a == b}`` over all
+    ``len(a) * len(b)`` cross pairs — the direct-count definition, which
+    for trial-sized samples (the paper uses 5 per configuration) is both
+    exact and hand-checkable.  ``U_a + U_b = len(a) * len(b)``.
+    """
+    wins = 0.0
+    for a in sample_a:
+        for b in sample_b:
+            if a > b:
+                wins += 1.0
+            elif a == b:
+                wins += 0.5
+    return wins
+
+
+def vargha_delaney_a12(sample_a: list[float], sample_b: list[float]) -> float:
+    """Vargha-Delaney Â₁₂: P(a > b) + 0.5 * P(a == b).
+
+    The standard nonparametric effect size for fuzzer comparisons
+    (Arcuri & Briand's recommendation): the probability that a random
+    trial from *sample_a* beats one from *sample_b*, with ties split.
+    0.5 means no effect; 1.0 means *a* always wins; by convention
+    |Â₁₂ - 0.5| >= 0.21 is a "large" effect.  Returns 0.5 when either
+    sample is empty (no evidence either way).
+    """
+    if not sample_a or not sample_b:
+        return 0.5
+    return mann_whitney_u(sample_a, sample_b) / (len(sample_a) * len(sample_b))
+
+
+def a12_magnitude(a12: float) -> str:
+    """Vargha-Delaney's verbal magnitude scale for an Â₁₂ value."""
+    scaled = abs(a12 - 0.5)
+    if scaled >= 0.21:
+        return "large"
+    if scaled >= 0.14:
+        return "medium"
+    if scaled >= 0.06:
+        return "small"
+    return "negligible"
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already sorted sample."""
+    if not ordered:
+        return 0.0
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def bootstrap_ci(
+    values: list[float],
+    statistic=None,
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for *statistic*.
+
+    Resamples *values* with replacement ``n_boot`` times using a local
+    ``random.Random(seed)`` — fully deterministic for a fixed (values,
+    seed) pair, which is what makes platform reports bit-reproducible —
+    and returns the (lo, hi) percentile interval of the resampled
+    statistic (default: :func:`median`).  Degenerate inputs collapse:
+    an empty sample yields (0.0, 0.0), a single value (v, v).
+    """
+    if statistic is None:
+        statistic = median
+    if not values:
+        return (0.0, 0.0)
+    if len(values) == 1 or len(set(values)) == 1:
+        point = float(statistic(values))
+        return (point, point)
+    rng = random.Random(seed)
+    n = len(values)
+    resampled = sorted(
+        statistic([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_boot)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return (_quantile(resampled, alpha), _quantile(resampled, 1.0 - alpha))
 
 
 def mean(values: list[float]) -> float:

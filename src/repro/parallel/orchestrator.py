@@ -393,6 +393,12 @@ class ParallelCampaign:
             ParallelReporter(config.report_dir, config)
             if config.report_dir is not None else None
         )
+        # Barrier observer: called as ``on_barrier(round_index,
+        # deadline_ns, reports, hub)`` after every sync barrier's merge.
+        # This is how the experiment platform's measurer samples a
+        # multi-worker trial's coverage growth without perturbing the
+        # round loop (observers must not mutate reports or the hub).
+        self.on_barrier = None
         self._resume = False
 
     # -- checkpoint / resume ----------------------------------------------
@@ -503,6 +509,9 @@ class ParallelCampaign:
             self.round_index = round_index + 1
             if self.reporter is not None:
                 self.reporter.barrier(self.round_index, reports, self.hub)
+            if self.on_barrier is not None:
+                self.on_barrier(self.round_index, deadline_ns, reports,
+                                self.hub)
             if (config.checkpoint_path is not None
                     and self.round_index % config.checkpoint_every_rounds == 0):
                 self.checkpoint()

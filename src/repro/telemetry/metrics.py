@@ -129,6 +129,20 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram(name, bounds)
         return histogram
 
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        """Name-sorted ``{name: value}`` for counters under *prefix*.
+
+        The experiment platform's measurer embeds these into trial
+        snapshots (restore/integrity/exec counters ride along with the
+        coverage samples); sorting keeps the serialised form canonical
+        so results-store digests are reproducible.
+        """
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> dict:
         """Point-in-time copy; later updates never mutate the result."""
         return {
@@ -150,6 +164,9 @@ class _NullMetrics(MetricsRegistry):
     """Disabled registry: hands out the shared no-op instrument."""
 
     enabled = False
+
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        return {}
 
     def counter(self, name: str):
         return _NULL_INSTRUMENT

@@ -33,6 +33,7 @@ RUNNABLE = {
     "persistent_pathologies.py": [],
     "pass_playground.py": [],
     "fuzz_gpmf.py": ["8"],        # 8 virtual ms instead of the default 120
+    "run_experiment.py": [],
 }
 
 EXEMPT = {"reproduce_paper.py"}

@@ -1,0 +1,158 @@
+"""Golden tests for the statistics behind the experiment reports.
+
+Every expected value here is hand-computed from the definitions (not
+from the code under test), including the tie-heavy and tiny-sample
+edge cases the report generator actually hits with 2-3 trials per arm.
+If one of these breaks, the report's p-value / Â₁₂ / CI columns mean
+something different than documented.
+"""
+
+import pytest
+
+from repro.experiments.stats import (
+    a12_magnitude,
+    bootstrap_ci,
+    mann_whitney_p,
+    mann_whitney_u,
+    median,
+    vargha_delaney_a12,
+)
+
+
+class TestMannWhitneyU:
+    def test_disjoint_low_sample_loses_every_pair(self):
+        # Every (a, b) pair has a < b: zero wins, zero ties.
+        assert mann_whitney_u([1, 2, 3], [4, 5, 6]) == 0.0
+
+    def test_disjoint_high_sample_wins_every_pair(self):
+        # 3 x 3 pairs, all wins.
+        assert mann_whitney_u([4, 5, 6], [1, 2, 3]) == 9.0
+
+    def test_interleaved_hand_count(self):
+        # a=[1,3,5] vs b=[2,4]: pairs won by a are (3,2), (5,2), (5,4)
+        # -> U = 3, no ties.
+        assert mann_whitney_u([1, 3, 5], [2, 4]) == 3.0
+
+    def test_ties_count_half(self):
+        # a=[1,1,2], b=[1,2,2]: wins = (2 vs 1) once per a=2 -> 1;
+        # ties = (1,1) twice + (2,2) twice -> 4 halves = 2.0; U = 3.0.
+        assert mann_whitney_u([1, 1, 2], [1, 2, 2]) == 3.0
+
+    def test_identical_samples_split_evenly(self):
+        # All 9 pairs tie -> U = 4.5 = m*n/2.
+        assert mann_whitney_u([7, 8, 9], [7, 8, 9]) == 4.5
+
+    def test_empty_sample(self):
+        assert mann_whitney_u([], [1, 2]) == 0.0
+        assert mann_whitney_u([1, 2], []) == 0.0
+
+
+class TestVarghaDelaneyA12:
+    def test_complete_dominance(self):
+        assert vargha_delaney_a12([4, 5, 6], [1, 2, 3]) == 1.0
+        assert vargha_delaney_a12([1, 2, 3], [4, 5, 6]) == 0.0
+
+    def test_identical_samples_are_a_coin_flip(self):
+        assert vargha_delaney_a12([5, 5, 5], [5, 5, 5]) == 0.5
+
+    def test_tie_heavy_hand_value(self):
+        # U = 3.0 (see above), m*n = 9 -> Â₁₂ = 1/3.
+        assert vargha_delaney_a12([1, 1, 2], [1, 2, 2]) == pytest.approx(
+            3.0 / 9.0
+        )
+
+    def test_single_observation_each(self):
+        assert vargha_delaney_a12([2], [1]) == 1.0
+        assert vargha_delaney_a12([1], [1]) == 0.5
+
+    def test_empty_degenerates_to_half(self):
+        assert vargha_delaney_a12([], [1]) == 0.5
+        assert vargha_delaney_a12([1], []) == 0.5
+
+    def test_symmetry(self):
+        a, b = [1.0, 4.0, 4.0, 7.0], [2.0, 4.0, 6.0]
+        assert vargha_delaney_a12(a, b) + vargha_delaney_a12(b, a) == (
+            pytest.approx(1.0)
+        )
+
+
+class TestA12Magnitude:
+    # Vargha & Delaney's thresholds on |Â₁₂ - 0.5|: 0.06 / 0.14 / 0.21.
+    @pytest.mark.parametrize("a12,label", [
+        (0.5, "negligible"),
+        (0.55, "negligible"),
+        (0.57, "small"),
+        (0.45, "negligible"),
+        (0.36, "medium"),
+        (0.64, "medium"),
+        (0.72, "large"),
+        (0.0, "large"),
+        (1.0, "large"),
+    ])
+    def test_scale(self, a12, label):
+        assert a12_magnitude(a12) == label
+
+
+class TestMannWhitneyPExact:
+    def test_three_vs_three_disjoint(self):
+        # Exact two-sided p for complete separation at n=m=3:
+        # 2 / C(6,3) = 2/20 = 0.1.
+        p = mann_whitney_p([1, 2, 3], [4, 5, 6])
+        assert p == pytest.approx(0.1)
+
+    def test_four_vs_four_disjoint(self):
+        # 2 / C(8,4) = 2/70.
+        p = mann_whitney_p([1, 2, 3, 4], [5, 6, 7, 8])
+        assert p == pytest.approx(2.0 / 70.0)
+
+    def test_degenerate_and_empty_are_one(self):
+        assert mann_whitney_p([3, 3, 3], [3, 3, 3]) == 1.0
+        assert mann_whitney_p([], [1, 2]) == 1.0
+
+    def test_two_sided_symmetry(self):
+        a, b = [1.0, 2.0, 5.0], [3.0, 4.0, 6.0]
+        assert mann_whitney_p(a, b) == pytest.approx(mann_whitney_p(b, a))
+
+
+class TestBootstrapCI:
+    def test_empty_is_zero_interval(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+
+    def test_single_value_is_point_interval(self):
+        assert bootstrap_ci([3.5]) == (3.5, 3.5)
+
+    def test_constant_sample_is_point_interval(self):
+        assert bootstrap_ci([5.0, 5.0, 5.0, 5.0]) == (5.0, 5.0)
+
+    def test_same_seed_is_deterministic(self):
+        values = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0]
+        assert bootstrap_ci(values, seed=42) == bootstrap_ci(
+            values, seed=42
+        )
+
+    def test_seed_actually_drives_resampling(self):
+        # Any two seeds may collide on the same percentile interval,
+        # but across a handful of seeds the resampling must vary.
+        values = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0]
+        intervals = {
+            bootstrap_ci(values, n_boot=50, seed=s) for s in range(8)
+        }
+        assert len(intervals) > 1
+
+    def test_interval_brackets_the_point_estimate(self):
+        values = [10.0, 12.0, 11.0, 14.0, 13.0, 9.0, 15.0]
+        lo, hi = bootstrap_ci(values, seed=0)
+        assert lo <= median(values) <= hi
+        assert min(values) <= lo and hi <= max(values)
+
+    def test_custom_statistic(self):
+        values = [0.0, 10.0]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        lo, hi = bootstrap_ci(values, statistic=mean, seed=0)
+        # Resampled means of {0, 10} pairs can only be 0, 5, or 10.
+        assert {lo, hi} <= {0.0, 5.0, 10.0}
+        assert lo <= hi
+
+    def test_tiny_sample_stays_in_range(self):
+        lo, hi = bootstrap_ci([2.0, 6.0], seed=0)
+        assert 2.0 <= lo <= hi <= 6.0

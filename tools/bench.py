@@ -1,0 +1,136 @@
+"""Wall-clock benchmark harness for the MiniVM execution mechanisms.
+
+Everything else in the repo measures *virtual* time; this tool answers
+the orthogonal question "how fast does the simulation itself run on
+this machine?"  It drives each (target, mechanism) pair through the
+real executor stack for a fixed number of executions, times it with
+``time.perf_counter``, and writes ``BENCH_wallclock.json`` at the repo
+root::
+
+    PYTHONPATH=src python tools/bench.py
+    PYTHONPATH=src python tools/bench.py --targets md4c --execs 500
+
+The JSON records host metadata plus, per cell: wall seconds, real
+execs/second, and the mean virtual ns consumed per exec — so regressions
+in simulator throughput (as opposed to simulated throughput) show up in
+code review.  Numbers are machine-dependent by design; only the schema
+is stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.experiments.campaign_runner import build_executor  # noqa: E402
+from repro.sim_os import Kernel  # noqa: E402
+from repro.targets import get_target, target_names  # noqa: E402
+
+DEFAULT_TARGETS = ("md4c", "giftext", "zlib")
+DEFAULT_MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
+
+
+def measure_cell(target: str, mechanism: str, execs: int,
+                 warmup: int = 5) -> dict:
+    """Time *execs* real executions of *target* under *mechanism*.
+
+    Inputs cycle through the target's seed corpus so the measurement
+    exercises the same paths a campaign's early iterations would.
+    Returns the schema cell stored in ``BENCH_wallclock.json``.
+    """
+    spec = get_target(target)
+    executor = build_executor(target, mechanism, Kernel())
+    inputs = itertools.cycle(spec.seeds)
+    for _ in range(warmup):
+        executor.run(next(inputs))
+    virtual_ns = 0
+    start = time.perf_counter()
+    for _ in range(execs):
+        virtual_ns += executor.run(next(inputs)).ns
+    wall_s = time.perf_counter() - start
+    executor.shutdown()
+    return {
+        "target": target,
+        "mechanism": mechanism,
+        "execs": execs,
+        "wall_s": round(wall_s, 6),
+        "execs_per_s": round(execs / wall_s, 2) if wall_s > 0 else 0.0,
+        "virtual_ns_per_exec": round(virtual_ns / execs, 1),
+    }
+
+
+def run_bench(targets, mechanisms, execs: int) -> dict:
+    """Measure every (target, mechanism) cell; returns the full report."""
+    cells = []
+    for target in targets:
+        for mechanism in mechanisms:
+            cell = measure_cell(target, mechanism, execs)
+            cells.append(cell)
+            print(
+                f"{target:12s} {mechanism:12s} "
+                f"{cell['execs_per_s']:>10.1f} execs/s  "
+                f"({cell['wall_s']:.3f}s wall)"
+            )
+    return {
+        "schema": "repro-bench-wallclock/1",
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "execs_per_cell": execs,
+        "cells": cells,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench.py",
+        description="Measure real wall-clock MiniVM throughput and "
+                    "write BENCH_wallclock.json at the repo root.",
+    )
+    parser.add_argument("--targets",
+                        default=",".join(DEFAULT_TARGETS),
+                        help="comma-separated targets "
+                             f"(default: {','.join(DEFAULT_TARGETS)})")
+    parser.add_argument("--mechanisms",
+                        default=",".join(DEFAULT_MECHANISMS),
+                        help="comma-separated mechanisms "
+                             f"(default: {','.join(DEFAULT_MECHANISMS)})")
+    parser.add_argument("--execs", type=int, default=300,
+                        help="executions timed per cell (default: 300)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_wallclock.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+    unknown = set(targets) - set(target_names())
+    if unknown:
+        parser.error(f"unknown targets: {sorted(unknown)}")
+    mechanisms = [m.strip() for m in args.mechanisms.split(",")
+                  if m.strip()]
+
+    report = run_bench(targets, mechanisms, args.execs)
+    out = pathlib.Path(
+        args.out
+        or pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_wallclock.json"
+    )
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
