@@ -45,6 +45,14 @@ class FaultSite(enum.Enum):
     LEAK_FD = "leak-fd"                      # leaked FILE handles survive
     DIRTY_GLOBAL_BYTE = "dirty-global-byte"  # restore writes a wrong byte
     SKIP_CTX_REWIND = "skip-ctx-rewind"      # stack/argv context drifts
+    # Service-plane sites (repro.service): fired at the serving layer,
+    # never inside a campaign's virtual timeline — a service fault may
+    # cost wall-clock time and retries but must leave every job's
+    # virtual-clock trajectory (and therefore its digest) untouched.
+    JOB_QUEUE_DROP = "queue-drop"            # dispatch lost from the queue
+    WORKER_WEDGE = "worker-wedge"            # campaign worker stops stepping
+    CKPT_TORN = "ckpt-torn"                  # checkpoint write torn mid-job
+    CLOCK_OVERRUN = "clock-overrun"          # job overruns its budget slice
 
 
 #: Human-readable errno-style details per site (purely descriptive).
@@ -62,6 +70,10 @@ _DEFAULT_DETAIL = {
     FaultSite.LEAK_FD: "fd-sweep-skipped",
     FaultSite.DIRTY_GLOBAL_BYTE: "global-byte-corrupted",
     FaultSite.SKIP_CTX_REWIND: "ctx-rewind-skipped",
+    FaultSite.JOB_QUEUE_DROP: "dispatch-lost",
+    FaultSite.WORKER_WEDGE: "worker-wedged",
+    FaultSite.CKPT_TORN: "checkpoint-torn",
+    FaultSite.CLOCK_OVERRUN: "budget-overrun",
 }
 
 
@@ -109,6 +121,15 @@ class FaultPlan:
     SENTINEL_SITES = (
         FaultSite.SKIP_HEAP_SWEEP, FaultSite.LEAK_FD,
         FaultSite.DIRTY_GLOBAL_BYTE, FaultSite.SKIP_CTX_REWIND,
+    )
+
+    #: Service-plane sites (see :class:`FaultSite`): polled by
+    #: ``repro.service``'s scheduler, worker pool, and recovery layer.
+    #: Opt-in like the sentinel sites — they are meaningless without a
+    #: serving layer to inject into.
+    SERVICE_SITES = (
+        FaultSite.JOB_QUEUE_DROP, FaultSite.WORKER_WEDGE,
+        FaultSite.CKPT_TORN, FaultSite.CLOCK_OVERRUN,
     )
 
     @classmethod

@@ -10,6 +10,7 @@ evaluation needs.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 
@@ -23,7 +24,7 @@ from repro.fuzzing.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.fuzzing.corpus import Corpus, QueueEntry
+from repro.fuzzing.corpus import Corpus, QueueEntry, input_hash
 from repro.fuzzing.coverage import VirginMap, coverage_signature
 from repro.fuzzing.mutators import HavocMutator, deterministic_mutations
 from repro.fuzzing.triage import CrashTriage
@@ -253,6 +254,27 @@ class Campaign:
         """Phase 3: tear down the executor and build the result."""
         self.executor.shutdown()
         return self._finish(self.run_start_ns)
+
+    def state_digest(self) -> str:
+        """Stable fingerprint of everything 'bit-identical' means for a
+        single campaign: merged coverage, corpus contents, crash set,
+        exec count, and the virtual instant — the single-shard analogue
+        of :meth:`~repro.parallel.ParallelResult.digest`.  A resumed
+        campaign that replays correctly produces the same digest as the
+        uninterrupted run; the fuzzing service uses this as each job's
+        correctness receipt."""
+        h = hashlib.sha256()
+        h.update(self.virgin.to_bytes())
+        for key in sorted(input_hash(e.data) for e in self.corpus.entries):
+            h.update(key.encode())
+        for identity in sorted(
+            (r.kind.value, r.function, r.identity[2])
+            for r in self.triage.reports()
+        ):
+            h.update(repr(identity).encode())
+        h.update(str(self.execs).encode())
+        h.update(str(self.clock.now_ns).encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # checkpoint / resume

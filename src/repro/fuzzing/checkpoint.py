@@ -158,9 +158,18 @@ def _load_one(path: str) -> dict:
         state = pickle.loads(body)
     except Exception as error:  # truncated/corrupt pickle stream
         raise CheckpointError(f"corrupt checkpoint {path!r}: {error}")
+    if not isinstance(state, dict):
+        # A payload can pass magic + CRC yet unpickle to the wrong
+        # shape (e.g. a stray file that happened to be framed); that is
+        # corruption too, not a reason to blow up with AttributeError.
+        raise CheckpointError(
+            f"checkpoint {path!r} payload is {type(state).__name__}, "
+            "not a state dict"
+        )
     if state.get("version") != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"checkpoint version {state.get('version')} != {CHECKPOINT_VERSION}"
+            f" in {path!r}"
         )
     return state
 
@@ -178,18 +187,28 @@ def load_checkpoint(path: str) -> dict:
 
 def load_state(path: str) -> dict:
     """Generation-fallback loader shared by campaign and parallel
-    checkpoints (see :func:`load_checkpoint` for the search order)."""
+    checkpoints (see :func:`load_checkpoint` for the search order).
+
+    Every failure mode — unreadable file, bad magic, CRC mismatch,
+    corrupt pickle, wrong payload shape, version skew — surfaces as a
+    :class:`CheckpointError`; when *all* generations fail, the raised
+    error names every generation tried with its individual reason, so
+    an operator can see at a glance which files were consulted.
+    """
     failures: list[str] = []
+    tried: list[str] = []
     generation = 0
     while True:
         candidate = _generation_path(path, generation)
         if generation > 0 and not os.path.exists(candidate):
             break
+        tried.append(candidate)
         try:
             return _load_one(candidate)
         except CheckpointError as error:
             failures.append(str(error))
         generation += 1
     raise CheckpointError(
-        "no loadable checkpoint generation: " + "; ".join(failures)
+        f"no loadable checkpoint generation (tried {', '.join(tried)}): "
+        + "; ".join(failures)
     )

@@ -399,6 +399,11 @@ class ParallelCampaign:
         # multi-worker trial's coverage growth without perturbing the
         # round loop (observers must not mutate reports or the hub).
         self.on_barrier = None
+        # Cooperative stop: when set (by another thread — the fuzzing
+        # service's shutdown path), the round loop checkpoints at the
+        # next barrier and returns ``None`` instead of running to the
+        # budget; the campaign stays resumable from that checkpoint.
+        self.stop_requested = False
         self._resume = False
 
     # -- checkpoint / resume ----------------------------------------------
@@ -518,6 +523,10 @@ class ParallelCampaign:
             if (config.halt_after_round is not None
                     and self.round_index > config.halt_after_round):
                 return None    # the orchestrator "dies" here
+            if self.stop_requested:
+                if config.checkpoint_path is not None:
+                    self.checkpoint()
+                return None    # cooperative stop; resumable
 
         finals = sorted(transport.finish(), key=lambda f: f.shard_id)
         result = self._merge(finals, transport.replacements)

@@ -1,0 +1,58 @@
+"""Campaign-as-a-service: the fault-tolerant async fuzzing server.
+
+This package turns the repository's one-shot campaign drivers into a
+**long-lived multi-tenant service**: a single asyncio process owning a
+cooperative pool of campaign workers, accepting jobs ``(target,
+config, budget_ns, tenant)`` over a newline-JSON-RPC surface, streaming
+live AFL-style stats per job, and surviving anything the chaos plane —
+or ``kill -9`` — throws at it without losing an accepted job or
+changing a single result bit.
+
+The correctness keystone is inherited from the rest of the stack:
+campaigns are deterministic functions of ``(target, mechanism, seed,
+budget_ns)`` on their own virtual clocks, and service-plane failures
+(lost dispatches, wedged workers, torn checkpoint writes, budget
+overruns, process death) are only ever allowed to cost *wall time* —
+never to touch a campaign's virtual clock or RNG.  A job's
+:meth:`~repro.fuzzing.Campaign.state_digest` is therefore invariant to
+every fault the service absorbs, which is what the golden crash-
+recovery tests check bit-for-bit.
+
+Modules:
+
+- :mod:`repro.service.protocol` — newline-JSON-RPC framing + client;
+- :mod:`repro.service.quotas` — per-tenant virtual-ns accounting;
+- :mod:`repro.service.scheduler` — job table, bounded queue, reconcile;
+- :mod:`repro.service.recovery` — fsynced journal + checkpoint layout;
+- :mod:`repro.service.worker_pool` — cooperative workers + the
+  restart-step → respawn-worker → quarantine-job degradation ladder;
+- :mod:`repro.service.server` — admission, the RPC surface, recovery,
+  drain; ``python -m repro.service`` is the CLI.
+"""
+
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    call_sync,
+)
+from repro.service.quotas import QuotaExceeded, QuotaLedger, TenantAccount
+from repro.service.recovery import JobJournal, ServiceState
+from repro.service.scheduler import (
+    JobRecord,
+    JobScheduler,
+    JobSpec,
+    JobState,
+    QueueFull,
+)
+from repro.service.server import FuzzService, ServiceConfig, ServicePolicy
+from repro.service.worker_pool import WorkerPool
+
+__all__ = [
+    "ProtocolError", "ServiceClient", "ServiceError", "call_sync",
+    "QuotaExceeded", "QuotaLedger", "TenantAccount",
+    "JobJournal", "ServiceState",
+    "JobRecord", "JobScheduler", "JobSpec", "JobState", "QueueFull",
+    "FuzzService", "ServiceConfig", "ServicePolicy",
+    "WorkerPool",
+]

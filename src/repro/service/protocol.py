@@ -1,0 +1,174 @@
+"""The service wire protocol: newline-delimited JSON-RPC over streams.
+
+One JSON object per line, both directions.  Requests carry ``{"id",
+"method", "params"}``; the server answers with ``{"id", "result"}`` or
+``{"id", "error": {"code", "message", ...}}``.  Streaming methods
+(``watch``) interleave id-less **notifications** (``{"method":
+"job.sample", "params": {...}}``) before the terminating response, so a
+client reads sample lines as they are produced and knows the stream is
+over when the line carrying its request id arrives.
+
+The framing is deliberately the simplest thing that is robust over
+asyncio streams: no lengths, no binary, no pipelining requirements —
+a human can drive the server with ``nc`` — while staying structured
+enough for the admission layer to express *backpressure* precisely:
+``QUEUE_FULL`` and ``QUOTA_EXCEEDED`` rejections carry a
+``retry_after_ms`` hint instead of letting the queue grow without
+bound, fuzzbench-dispatcher style.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+#: Maximum accepted line length (a submit with config is small; anything
+#: bigger is a confused or hostile client).
+MAX_LINE_BYTES = 1 << 20
+
+# -- error codes --------------------------------------------------------
+
+BAD_REQUEST = "BAD_REQUEST"
+UNKNOWN_METHOD = "UNKNOWN_METHOD"
+UNKNOWN_JOB = "UNKNOWN_JOB"
+QUOTA_EXCEEDED = "QUOTA_EXCEEDED"
+QUEUE_FULL = "QUEUE_FULL"
+DRAINING = "DRAINING"
+INTERNAL = "INTERNAL"
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame on the wire."""
+
+
+class ServiceError(RuntimeError):
+    """A structured error response from the server."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after_ms: int | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_ms = retry_after_ms
+
+    @classmethod
+    def from_wire(cls, error: dict) -> "ServiceError":
+        """Rebuild the client-side exception from an error payload."""
+        return cls(
+            error.get("code", INTERNAL),
+            error.get("message", ""),
+            error.get("retry_after_ms"),
+        )
+
+    def to_wire(self) -> dict:
+        """The error payload as it travels in a response frame."""
+        wire: dict = {"code": self.code, "message": self.message}
+        if self.retry_after_ms is not None:
+            wire["retry_after_ms"] = self.retry_after_ms
+        return wire
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One frame in canonical JSON, newline-terminated."""
+    return (
+        json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on garbage."""
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}")
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame is {type(frame).__name__}, not object")
+    return frame
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Next frame from the stream, or ``None`` at EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("frame exceeds MAX_LINE_BYTES")
+    return decode_frame(line)
+
+
+class ServiceClient:
+    """Asyncio client for one server connection.
+
+    Requests are issued sequentially per connection (the CLI and tests
+    open one connection per logical session); ``call`` blocks until the
+    matching response id arrives, surfacing notifications to an
+    optional callback on the way.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self._next_id = 1
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Open a client connection to a serving endpoint."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def call(self, method: str, params: dict | None = None,
+                   on_notification=None) -> dict:
+        """One request/response round trip.
+
+        *on_notification* (``callable(method, params)``), when given,
+        receives every id-less frame that arrives before the response —
+        the ``watch`` streaming surface.  Raises :class:`ServiceError`
+        for error responses.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        self.writer.write(encode_frame({
+            "id": request_id, "method": method, "params": params or {},
+        }))
+        await self.writer.drain()
+        while True:
+            frame = await read_frame(self.reader)
+            if frame is None:
+                raise ProtocolError("connection closed mid-call")
+            if "id" not in frame:
+                if on_notification is not None:
+                    on_notification(
+                        frame.get("method", ""), frame.get("params", {})
+                    )
+                continue
+            if frame["id"] != request_id:
+                raise ProtocolError(
+                    f"response id {frame['id']!r} != request {request_id}"
+                )
+            if "error" in frame:
+                raise ServiceError.from_wire(frame["error"])
+            return frame.get("result", {})
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+def call_sync(host: str, port: int, method: str,
+              params: dict | None = None, on_notification=None) -> dict:
+    """Synchronous one-shot convenience used by the CLI subcommands."""
+    async def _one_shot() -> dict:
+        client = await ServiceClient.connect(host, port)
+        try:
+            return await client.call(method, params, on_notification)
+        finally:
+            await client.close()
+    return asyncio.run(_one_shot())

@@ -1,0 +1,165 @@
+"""Per-tenant quota accounting, charged in virtual nanoseconds.
+
+Multi-tenant fairness on this platform is an *accounting* problem, not
+a scheduling one: every job runs on its own virtual clock, so the fair
+unit to meter is the virtual time a tenant's jobs consume — the same
+unit campaign budgets are expressed in.  The ledger implements
+two-phase accounting, dispatcher-style:
+
+- **admission** reserves the job's full ``budget_ns`` against the
+  tenant's quota (reject up front rather than kill mid-flight);
+- **charging** converts reservation into consumption as the job's
+  virtual clock actually advances (plus any service-observed budget
+  overrun injected by the chaos plane's ``clock-overrun`` site);
+- **settlement** releases the reservation when the job reaches a
+  terminal state, refunding whatever a quarantined job never ran.
+
+Everything is plain integers updated on the event loop — no locks, no
+float drift — and the whole ledger is reconstructible from the job
+journal, which is how the server's crash recovery restores tenant
+accounting after a ``kill -9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class QuotaExceeded(RuntimeError):
+    """Admission refused: the reservation would overrun the quota."""
+
+    def __init__(self, tenant: str, requested_ns: int, available_ns: int):
+        super().__init__(
+            f"tenant {tenant!r} requested {requested_ns} virtual ns "
+            f"but only {available_ns} remain"
+        )
+        self.tenant = tenant
+        self.requested_ns = requested_ns
+        self.available_ns = available_ns
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's meters (all in virtual nanoseconds / job counts)."""
+
+    tenant: str
+    quota_ns: int
+    reserved_ns: int = 0
+    consumed_ns: int = 0
+    overrun_ns: int = 0
+    submitted: int = 0
+    accepted: int = 0
+    rejected_quota: int = 0
+    rejected_queue: int = 0
+    completed: int = 0
+    quarantined: int = 0
+    # Per-job consumption high-water marks: charging is monotone per
+    # job, so a step replayed from a checkpoint never double-bills.
+    job_consumed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def available_ns(self) -> int:
+        return self.quota_ns - self.reserved_ns - self.consumed_ns
+
+    def snapshot(self) -> dict:
+        """Wire-shaped view for the ``tenants`` RPC."""
+        return {
+            "tenant": self.tenant,
+            "quota_ns": self.quota_ns,
+            "reserved_ns": self.reserved_ns,
+            "consumed_ns": self.consumed_ns,
+            "available_ns": self.available_ns,
+            "overrun_ns": self.overrun_ns,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "completed": self.completed,
+            "quarantined": self.quarantined,
+        }
+
+
+class QuotaLedger:
+    """All tenants' accounts plus the admission rule (module docstring)."""
+
+    def __init__(self, default_quota_ns: int,
+                 tenant_quotas: dict[str, int] | None = None):
+        if default_quota_ns < 1:
+            raise ValueError("default_quota_ns must be >= 1")
+        self.default_quota_ns = default_quota_ns
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.accounts: dict[str, TenantAccount] = {}
+
+    def account(self, tenant: str) -> TenantAccount:
+        """The tenant's account, created on first touch."""
+        existing = self.accounts.get(tenant)
+        if existing is None:
+            existing = TenantAccount(
+                tenant=tenant,
+                quota_ns=self.tenant_quotas.get(
+                    tenant, self.default_quota_ns
+                ),
+            )
+            self.accounts[tenant] = existing
+        return existing
+
+    # -- two-phase accounting -------------------------------------------
+
+    def reserve(self, tenant: str, job_id: str, budget_ns: int,
+                force: bool = False) -> None:
+        """Admission: reserve *budget_ns* or raise :class:`QuotaExceeded`.
+
+        *force* bypasses the admission check — used only by journal
+        replay, where the job was already accepted before the crash and
+        the ledger is being reconstructed, never re-adjudicated.
+        """
+        account = self.account(tenant)
+        if not force and budget_ns > account.available_ns:
+            account.rejected_quota += 1
+            raise QuotaExceeded(tenant, budget_ns, account.available_ns)
+        account.reserved_ns += budget_ns
+        account.accepted += 1
+        account.job_consumed.setdefault(job_id, 0)
+
+    def charge(self, tenant: str, job_id: str, consumed_ns: int) -> None:
+        """Record a job's cumulative virtual consumption (monotone: a
+        step replayed from a checkpoint re-reports an instant already
+        billed and charges nothing)."""
+        account = self.account(tenant)
+        previous = account.job_consumed.get(job_id, 0)
+        if consumed_ns <= previous:
+            return
+        delta = consumed_ns - previous
+        account.job_consumed[job_id] = consumed_ns
+        account.consumed_ns += delta
+        account.reserved_ns = max(0, account.reserved_ns - delta)
+
+    def charge_overrun(self, tenant: str, overrun_ns: int) -> None:
+        """Bill a service-observed budget overrun (chaos
+        ``clock-overrun`` site): pure service-side accounting — the
+        job's own virtual timeline is never touched."""
+        account = self.account(tenant)
+        account.overrun_ns += overrun_ns
+        account.consumed_ns += overrun_ns
+
+    def settle(self, tenant: str, job_id: str, budget_ns: int,
+               quarantined: bool = False) -> None:
+        """Terminal-state settlement: release the unconsumed remainder
+        of the job's reservation back to the tenant."""
+        account = self.account(tenant)
+        consumed = account.job_consumed.get(job_id, 0)
+        remainder = max(0, budget_ns - consumed)
+        account.reserved_ns = max(0, account.reserved_ns - remainder)
+        if quarantined:
+            account.quarantined += 1
+        else:
+            account.completed += 1
+
+    # -- views ----------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Every account's wire view, tenant-sorted."""
+        return [
+            self.accounts[tenant].snapshot()
+            for tenant in sorted(self.accounts)
+        ]

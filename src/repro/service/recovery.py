@@ -1,0 +1,144 @@
+"""Crash recovery: the job journal and per-job checkpoint plumbing.
+
+The durability contract of the service is: **an acknowledged job is
+never lost**.  ``kill -9`` the server at any instant after a submit
+response and a restart completes every accepted job with results
+bit-identical to an uninterrupted run.  Two artifacts under the state
+directory carry that contract:
+
+- ``journal.jsonl`` — an append-only, fsync-per-record journal of job
+  lifecycle events (``accepted`` / ``completed`` / ``quarantined``),
+  canonical JSON, torn-tail tolerant exactly like the experiment
+  platform's results store.  Acceptance is journaled *before* the
+  submit response is sent.
+- ``checkpoints/<job_id>.ckpt[.N]`` — RPRCKPT1 campaign checkpoints
+  written on the service's slice cadence, with the standard CRC +
+  rotation stack, so a restart resumes each in-flight job from its
+  last durable instant and replays bit-identically.
+
+Recovery replays the journal: terminal jobs are reloaded as completed
+rows (their digests are the comparison baseline), accepted-but-open
+jobs are re-admitted in original submission order and either resume
+from their newest loadable checkpoint generation or — if none survives
+(e.g. the chaos plane tore the only write) — restart from scratch,
+which is digest-equivalent because campaigns are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.fuzzing.checkpoint import save_state
+
+
+def canonical_line(record: dict) -> str:
+    """One journal record in canonical JSON (no newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class JobJournal:
+    """Append-only fsynced lifecycle journal (see module docstring)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+
+    def append(self, record: dict) -> None:
+        """Durably append one lifecycle record."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(canonical_line(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read(self) -> list[dict]:
+        """All records (empty if absent); a torn tail is dropped, the
+        valid prefix is the journal's state."""
+        if not os.path.exists(self.path):
+            return []
+        records: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # torn tail: keep the valid prefix
+        return records
+
+
+class ServiceState:
+    """Layout of one service's state directory."""
+
+    def __init__(self, state_dir: str):
+        self.state_dir = state_dir
+        self.checkpoints_dir = os.path.join(state_dir, "checkpoints")
+        os.makedirs(self.checkpoints_dir, exist_ok=True)
+        self.journal = JobJournal(os.path.join(state_dir, "journal.jsonl"))
+
+    def checkpoint_path(self, job_id: str) -> str:
+        """The job's RPRCKPT1 checkpoint root (rotated generations)."""
+        return os.path.join(self.checkpoints_dir, f"{job_id}.ckpt")
+
+    @property
+    def endpoint_path(self) -> str:
+        """Where ``serve`` advertises its bound (host, port)."""
+        return os.path.join(self.state_dir, "endpoint.json")
+
+    def write_endpoint(self, host: str, port: int) -> None:
+        """Atomically advertise the listening endpoint for clients."""
+        tmp = self.endpoint_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"host": host, "port": port}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.endpoint_path)
+
+    def read_endpoint(self) -> tuple[str, int]:
+        """The advertised (host, port) pair."""
+        with open(self.endpoint_path, "r", encoding="utf-8") as handle:
+            endpoint = json.load(handle)
+        return endpoint["host"], int(endpoint["port"])
+
+    # -- journal replay --------------------------------------------------
+
+    def replay(self) -> tuple[list[dict], dict[str, dict]]:
+        """Replay the journal into ``(open_jobs, terminal_records)``.
+
+        *open_jobs* are ``accepted`` records (in submission order) with
+        no terminal record yet; *terminal_records* maps job_id to its
+        ``completed`` / ``quarantined`` record.
+        """
+        accepted: dict[str, dict] = {}
+        terminal: dict[str, dict] = {}
+        for record in self.journal.read():
+            kind = record.get("kind")
+            job_id = record.get("job_id")
+            if not job_id:
+                continue
+            if kind == "accepted":
+                accepted[job_id] = record
+            elif kind in ("completed", "quarantined"):
+                terminal[job_id] = record
+        open_jobs = [
+            record for job_id, record in accepted.items()
+            if job_id not in terminal
+        ]
+        return open_jobs, terminal
+
+
+def checkpoint_job_state(state: dict, path: str, keep: int,
+                         faults=None) -> None:
+    """Persist one job checkpoint, honouring the chaos plane's
+    ``ckpt-torn`` site: when armed, the freshly written generation is
+    torn mid-file (the simulated power cut lands *after* rotation, so
+    the previous generation survives exactly as the RPRCKPT1 rotation
+    stack promises) and the loader's CRC + fallback machinery is what
+    keeps the job recoverable."""
+    save_state(state, path, keep=keep)
+    if faults is not None and faults.poll("ckpt-torn"):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))

@@ -1,0 +1,394 @@
+"""The campaign worker pool: cooperative slicing plus the failure ladder.
+
+Each worker is an asyncio task that pulls accepted jobs off the
+dispatch queue and drives them through the stepwise Campaign surface:
+``step_until`` one *slice* of virtual time, yield the event loop (so
+submits, status polls, and watch streams stay live), checkpoint on the
+slice cadence, repeat to the budget deadline.  Multi-worker jobs ride
+:class:`~repro.parallel.ParallelCampaign` in a thread-pool executor —
+the orchestrator owns its own round loop — with the same
+checkpoint/resume story at sync barriers.
+
+Failures climb a three-rung degradation ladder mirroring the
+supervised executor's retry → respawn → quarantine shape, with capped
+exponential wall-clock backoff between rungs:
+
+1. **restart step** — reload the campaign from its newest loadable
+   checkpoint generation and re-drive; a replayed slice is
+   bit-identical, so a transient wedge costs wall time, never
+   correctness;
+2. **respawn worker** — the worker task is presumed wedged, dies, and
+   is replaced; the job re-enters the queue front and resumes from its
+   checkpoint on a fresh worker;
+3. **quarantine job** — the job is journaled terminal-quarantined and
+   its unconsumed quota refunded, so one pathological job can never
+   wedge the fleet.
+
+A per-slice wall-clock **watchdog deadline** feeds the same ladder
+(a slice that returns but blew its deadline counts as a strike), and
+the chaos plane's ``worker-wedge`` site injects rung-1/2/3 failures
+deterministically.  Service-plane faults never touch a campaign's
+virtual clock or RNG — that is the invariant that keeps every job's
+digest identical whatever the service suffered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.chaos.plan import FaultInjector, FaultPlan
+from repro.execution import SupervisedExecutor
+from repro.experiments.campaign_runner import build_executor
+from repro.fuzzing import Campaign, CampaignConfig
+from repro.fuzzing.checkpoint import (
+    CheckpointError,
+    capture_state,
+    load_checkpoint,
+)
+from repro.parallel import ParallelCampaign, ParallelConfig
+from repro.sim_os import Kernel
+from repro.service.recovery import checkpoint_job_state
+from repro.service.scheduler import JobRecord, JobSpec, JobState
+from repro.targets import get_target
+
+
+class StepFailure(RuntimeError):
+    """One failed drive attempt (wedge, watchdog, infrastructure)."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+        self.detail = detail
+
+
+class WorkerRespawnRequest(Exception):
+    """Rung 2: the worker should die and be replaced."""
+
+    def __init__(self, job: JobRecord):
+        super().__init__(f"respawn requested while running {job.job_id}")
+        self.job = job
+
+
+def build_job_executor(spec: JobSpec):
+    """One job's executor ladder: mechanism core, optional per-job
+    campaign-level chaos plan, optional supervision wrapper.  The
+    injector is rebuilt from the spec on every (re)construction and its
+    counters live inside the supervised snapshot, so checkpoint resume
+    restores the fault schedule mid-plan."""
+    kernel = Kernel()
+    executor = build_executor(spec.target, spec.mechanism, kernel)
+    if spec.supervised:
+        injector = None
+        if spec.chaos_faults:
+            injector = FaultInjector(
+                FaultPlan.generate(spec.seed, spec.chaos_faults),
+                clock=kernel.clock,
+            )
+        executor = SupervisedExecutor(executor, injector=injector)
+    return executor
+
+
+class WorkerPool:
+    """N cooperative campaign workers over the service's job queue."""
+
+    def __init__(self, service):
+        self.service = service
+        self.tasks: list[asyncio.Task] = []
+        self.respawns = 0
+        self._next_worker_id = 0
+        self._live_parallel: dict[str, ParallelCampaign] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self, n_workers: int) -> None:
+        """Spawn the initial worker tasks."""
+        for _ in range(n_workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        self.tasks.append(
+            asyncio.create_task(
+                self._worker_loop(worker_id), name=f"svc-worker-{worker_id}"
+            )
+        )
+
+    async def stop(self) -> None:
+        """Stop every worker: sentinel per live task, then gather."""
+        live = [task for task in self.tasks if not task.done()]
+        for _ in live:
+            self.service.scheduler.queue.put_nowait(None)
+        await asyncio.gather(*self.tasks, return_exceptions=True)
+        self.tasks = []
+
+    def abort(self) -> None:
+        """Hard-but-clean stop: cancel workers mid-slice and ask live
+        parallel orchestrators to checkpoint and return.  In-flight
+        jobs stay journal-accepted and resume on the next start."""
+        for campaign in self._live_parallel.values():
+            campaign.stop_requested = True
+        for task in self.tasks:
+            task.cancel()
+
+    # -- the worker loop -------------------------------------------------
+
+    async def _worker_loop(self, worker_id: int) -> None:
+        service = self.service
+        while True:
+            job_id = await service.scheduler.queue.get()
+            if job_id is None:
+                return
+            job = service.scheduler.jobs.get(job_id)
+            if job is None or job.state.terminal:
+                continue
+            try:
+                await self._run_job(worker_id, job)
+            except WorkerRespawnRequest:
+                # Rung 2: this worker is presumed wedged.  The job goes
+                # back to the queue front, a replacement task takes this
+                # worker's slot, and this task exits.
+                self.respawns += 1
+                service.note_event(
+                    "service.worker.respawn",
+                    worker=worker_id, job=job.job_id,
+                )
+                service.scheduler.requeue_front(job)
+                self._spawn_worker()
+                return
+
+    async def _run_job(self, worker_id: int, job: JobRecord) -> None:
+        """Drive one job to a terminal state, climbing the ladder."""
+        service = self.service
+        policy = service.config.policy
+        job.state = JobState.RUNNING
+        service.note_event(
+            "service.job.start", job=job.job_id, worker=worker_id,
+            tenant=job.spec.tenant,
+        )
+        while True:
+            try:
+                await self._attempt(job)
+                return
+            except asyncio.CancelledError:
+                raise
+            except WorkerRespawnRequest:
+                raise
+            except Exception as error:
+                failure = (
+                    error if isinstance(error, StepFailure)
+                    else StepFailure("infrastructure", repr(error))
+                )
+                job.strikes += 1
+                service.note_event(
+                    "service.job.strike", job=job.job_id,
+                    reason=failure.reason, strikes=job.strikes,
+                )
+                await self._backoff(job.strikes)
+                if job.strikes <= policy.restart_step_limit:
+                    job.step_restarts += 1   # rung 1: replay from ckpt
+                    continue
+                if job.respawns < policy.max_respawns:
+                    job.respawns += 1        # rung 2
+                    raise WorkerRespawnRequest(job)
+                await service.quarantine_job(job, failure.reason)  # rung 3
+                return
+
+    async def _backoff(self, strikes: int) -> None:
+        policy = self.service.config.policy
+        delay_s = min(
+            policy.backoff_base_s * (2 ** (strikes - 1)),
+            policy.backoff_cap_s,
+        )
+        await asyncio.sleep(delay_s)
+
+    def _poll_wedge(self) -> None:
+        faults = self.service.faults
+        if faults is not None:
+            fault = faults.poll("worker-wedge")
+            if fault is not None:
+                raise StepFailure("worker-wedge", fault.detail)
+
+    # -- single-worker jobs ----------------------------------------------
+
+    async def _attempt(self, job: JobRecord) -> None:
+        if job.spec.n_workers > 1:
+            await self._attempt_parallel(job)
+        else:
+            await self._attempt_campaign(job)
+
+    def _open_campaign(self, job: JobRecord) -> Campaign:
+        """Fresh-or-resumed campaign for one attempt.  Resume prefers
+        the newest loadable checkpoint generation; when none survives
+        (all generations torn/corrupt) the campaign restarts from
+        scratch, which is digest-equivalent by determinism."""
+        spec = job.spec
+        service = self.service
+        path = service.state.checkpoint_path(job.job_id)
+        config = CampaignConfig(
+            budget_ns=spec.budget_ns,
+            seed=spec.seed,
+            checkpoint_path=path,
+            # The service checkpoints explicitly on the slice cadence;
+            # park the campaign's own periodic cadence past the budget.
+            checkpoint_interval_ns=spec.budget_ns * 4,
+            checkpoint_keep=service.config.policy.checkpoint_keep,
+        )
+        executor = build_job_executor(spec)
+        try:
+            state = load_checkpoint(path)
+            campaign = Campaign.from_state(state, executor, config)
+            job.resumed_from_checkpoint = True
+        except CheckpointError:
+            campaign = Campaign(
+                executor, get_target(spec.target).seeds, config
+            )
+        campaign.start()
+        return campaign
+
+    async def _attempt_campaign(self, job: JobRecord) -> None:
+        service = self.service
+        policy = service.config.policy
+        campaign = self._open_campaign(job)
+        deadline_ns = campaign.run_start_ns + job.spec.budget_ns
+        slices = 0
+        while campaign.clock.now_ns < deadline_ns:
+            self._poll_wedge()
+            pause_ns = min(
+                campaign.clock.now_ns + policy.slice_ns, deadline_ns
+            )
+            before_ns = campaign.clock.now_ns
+            started = time.monotonic()
+            campaign.step_until(pause_ns)
+            if time.monotonic() - started > policy.watchdog_s:
+                raise StepFailure(
+                    "watchdog",
+                    f"slice exceeded {policy.watchdog_s}s wall-clock",
+                )
+            if campaign.clock.now_ns <= before_ns:
+                break   # empty corpus / no progress possible: wrap up
+            slices += 1
+            self._observe_campaign(job, campaign)
+            if slices % policy.checkpoint_every_slices == 0:
+                checkpoint_job_state(
+                    capture_state(campaign),
+                    service.state.checkpoint_path(job.job_id),
+                    keep=policy.checkpoint_keep,
+                    faults=service.faults,
+                )
+            # The cooperative yield: everything else the server does
+            # (submits, status, watch streams) happens here.
+            await asyncio.sleep(0)
+        result = campaign.finish_run()
+        await service.complete_job(job, campaign.state_digest(), result)
+
+    def _observe_campaign(self, job: JobRecord, campaign: Campaign) -> None:
+        """Per-slice bookkeeping: job mirrors, quota charge, sample."""
+        service = self.service
+        consumed_ns = campaign.clock.now_ns - campaign.run_start_ns
+        job.clock_ns = campaign.clock.now_ns
+        job.execs = campaign.execs
+        job.edges = campaign.virgin.edges_found()
+        job.corpus = len(campaign.corpus)
+        job.unique_crashes = campaign.triage.unique_count
+        job.unique_hangs = campaign.triage.unique_hang_count
+        service.ledger.charge(job.spec.tenant, job.job_id, consumed_ns)
+        self._poll_overrun(job)
+        job.add_sample({
+            "clock_ns": campaign.clock.now_ns,
+            "t_ns": consumed_ns,
+            "execs": job.execs,
+            "edges": job.edges,
+            "corpus": job.corpus,
+            "unique_crashes": job.unique_crashes,
+            "unique_hangs": job.unique_hangs,
+            "execs_per_vsec": (
+                job.execs / (consumed_ns / 1e9) if consumed_ns else 0.0
+            ),
+        })
+
+    def _poll_overrun(self, job: JobRecord) -> None:
+        """Chaos ``clock-overrun``: the service observes the job
+        overrunning its slice and bills the tenant for one extra slice
+        — service-side accounting only, the campaign's virtual
+        timeline is untouched."""
+        service = self.service
+        if service.faults is not None and service.faults.poll(
+                "clock-overrun"):
+            overrun_ns = service.config.policy.slice_ns
+            job.overrun_ns += overrun_ns
+            service.ledger.charge_overrun(job.spec.tenant, overrun_ns)
+            service.note_event(
+                "service.job.overrun", job=job.job_id,
+                overrun_ns=overrun_ns,
+            )
+
+    # -- multi-worker jobs -----------------------------------------------
+
+    async def _attempt_parallel(self, job: JobRecord) -> None:
+        """One ParallelCampaign attempt in the thread pool.  The
+        orchestrator drives its own round loop, checkpointing at sync
+        barriers; progress is sampled through ``on_barrier``.  The
+        wall-clock watchdog does not preempt the thread — the
+        orchestrator's own per-worker ``worker_timeout_s`` covers
+        wedged shards."""
+        self._poll_wedge()
+        service = self.service
+        spec = job.spec
+        path = service.state.checkpoint_path(job.job_id)
+        config = ParallelConfig(
+            target=spec.target,
+            n_workers=spec.n_workers,
+            seed=spec.seed,
+            budget_ns=spec.budget_ns,
+            sync_every_ns=spec.sync_every_ns,
+            mechanism=spec.mechanism,
+            supervised=spec.supervised,
+            chaos_faults=spec.chaos_faults,
+            checkpoint_path=path,
+            checkpoint_keep=service.config.policy.checkpoint_keep,
+        )
+        try:
+            campaign = ParallelCampaign.resume(path, config)
+            job.resumed_from_checkpoint = True
+        except (CheckpointError, OSError):
+            campaign = ParallelCampaign(config)
+
+        def on_barrier(round_index, deadline_ns, reports, hub):
+            # Runs on the campaign thread: touch only this job's row.
+            job.clock_ns = deadline_ns
+            job.execs = sum(r.execs for r in reports)
+            job.edges = hub.virgin.edges_found()
+            job.corpus = len(hub.corpus_hashes())
+            job.unique_crashes = sum(r.unique_crashes for r in reports)
+            job.add_sample({
+                "clock_ns": deadline_ns,
+                "t_ns": deadline_ns,
+                "execs": job.execs,
+                "edges": job.edges,
+                "corpus": job.corpus,
+                "unique_crashes": job.unique_crashes,
+                "unique_hangs": 0,
+                "execs_per_vsec": (
+                    job.execs / (deadline_ns / 1e9) if deadline_ns else 0.0
+                ),
+            })
+
+        campaign.on_barrier = on_barrier
+        self._live_parallel[job.job_id] = campaign
+        try:
+            result = await asyncio.get_running_loop().run_in_executor(
+                None, campaign.run
+            )
+        finally:
+            self._live_parallel.pop(job.job_id, None)
+        if result is None:
+            # Cooperative stop during shutdown: the job stays accepted
+            # and resumes from its barrier checkpoint next start.
+            return
+        service.ledger.charge(
+            job.spec.tenant, job.job_id, spec.budget_ns
+        )
+        self._poll_overrun(job)
+        await service.complete_job(job, result.digest(), result)

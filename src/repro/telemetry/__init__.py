@@ -17,6 +17,7 @@ from repro.telemetry.config import (
     NULL_TELEMETRY,
     Telemetry,
     TelemetryConfig,
+    WallClock,
     build_telemetry,
 )
 from repro.telemetry.metrics import (
@@ -44,7 +45,8 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
-    "NULL_TELEMETRY", "Telemetry", "TelemetryConfig", "build_telemetry",
+    "NULL_TELEMETRY", "Telemetry", "TelemetryConfig", "WallClock",
+    "build_telemetry",
     "DEFAULT_BOUNDS", "NULL_METRICS", "Counter", "Gauge", "Histogram",
     "MetricsRegistry",
     "HotSpot", "ProfileReport",

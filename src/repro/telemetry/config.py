@@ -11,6 +11,7 @@ it didn't ask for.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
@@ -57,6 +58,22 @@ class Telemetry:
 
 
 NULL_TELEMETRY = Telemetry(NULL_METRICS, NULL_TRACER, TelemetryConfig())
+
+
+class WallClock:
+    """Monotonic wall-clock with the virtual clock's ``now_ns`` shape.
+
+    Campaigns are virtual-clock-native, but the serving layer
+    (``repro.service``) is a wall-clock entity — its trace events
+    (job accepted, worker respawned, drain started) happen in real
+    time, across many independent virtual timelines.  This shim lets
+    the service reuse the same :class:`Telemetry` stack by quacking
+    like a kernel clock.
+    """
+
+    @property
+    def now_ns(self) -> int:
+        return time.monotonic_ns()
 
 
 def build_telemetry(config: TelemetryConfig | None, clock=None) -> Telemetry:

@@ -407,3 +407,89 @@ class TestChaosCampaign:
         assert result.hang_reports[0].occurrences >= 2
         # Hangs are not crashes.
         assert all(r.found_at_ns >= 0 for r in result.hang_reports)
+
+
+class TestSupervisedStateRoundTrip:
+    """Satellite: the backoff/quarantine ladder must survive a
+    ``snapshot_state``/``restore_state`` round trip mid-ladder and
+    replay bit-identically — attempt counters, degradation level, and
+    the injector's fault schedule included.  The snapshot is pickled
+    and unpickled to emulate the disk hop a checkpoint takes (the live
+    snapshot shares mutable objects with the executor)."""
+
+    INPUTS_PREFIX = [b"hello", b"X one", b""]
+    INPUTS_SUFFIX = [b"abc", b"X two", b"zzzz", b"qqqq"]
+
+    @staticmethod
+    def _plan():
+        return FaultPlan([
+            FaultSpec(FaultSite.FORK, 1),      # fires in the prefix
+            FaultSpec(FaultSite.WEDGE, 1),     # fires in the prefix
+            FaultSpec(FaultSite.PIPE, 5),      # still armed at snapshot
+            FaultSpec(FaultSite.MALLOC, 6),    # still armed at snapshot
+        ])
+
+    @staticmethod
+    def _observe(executor, data):
+        before_ns = executor.clock.now_ns
+        result = executor.run(data)
+        return (
+            result.status,
+            result.return_code,
+            coverage_signature(result.coverage),
+            executor.clock.now_ns - before_ns,   # virtual cost, backoff
+        )                                        # charges included
+
+    def test_mid_ladder_round_trip_replays_bit_identical(self):
+        import pickle
+
+        golden = _supervised_forkserver(self._plan())
+        for data in self.INPUTS_PREFIX:
+            golden.run(data)
+        # Mid-ladder: recoveries already happened, faults still armed.
+        assert golden.supervision.recoveries >= 2
+        assert golden.injector.armed
+        snapshot = pickle.loads(pickle.dumps(golden.snapshot_state()))
+
+        golden_tail = [self._observe(golden, d) for d in self.INPUTS_SUFFIX]
+
+        revived = _supervised_forkserver(self._plan())
+        revived.restore_state(snapshot)
+        revived_tail = [
+            self._observe(revived, d) for d in self.INPUTS_SUFFIX
+        ]
+
+        # Same results, same virtual costs (backoff replay included).
+        assert revived_tail == golden_tail
+        # Same ladder state at the end: attempt counters, quarantine,
+        # degradation, cumulative stats, and injector schedule.
+        assert revived.supervision == golden.supervision
+        assert revived._hang_kills == golden._hang_kills
+        assert sorted(revived.quarantine) == sorted(golden.quarantine)
+        assert revived._degraded == golden._degraded
+        assert revived.stats.execs == golden.stats.execs
+        assert revived.injector.counters == golden.injector.counters
+        assert revived.injector.armed == golden.injector.armed
+
+    def test_round_trip_preserves_quarantine_and_degradation(self):
+        """Quarantine records and the degraded flag survive the disk
+        hop: a quarantined input is replayed, not re-executed, after
+        restore."""
+        import pickle
+
+        policy = SupervisionPolicy(max_kills_per_input=1)
+        golden = _supervised_forkserver(None, policy)
+        golden.exec_instruction_limit = 20_000
+        golden.run(b"Hang")                  # killed once -> quarantined
+        assert golden.supervision.quarantined_inputs == 1
+
+        snapshot = pickle.loads(pickle.dumps(golden.snapshot_state()))
+        revived = _supervised_forkserver(None, policy)
+        revived.exec_instruction_limit = 20_000
+        revived.restore_state(snapshot)
+
+        replayed = revived.run(b"Hang")      # served from quarantine
+        assert replayed.is_hang
+        assert revived.supervision.quarantine_hits == 1
+        assert revived.supervision.quarantined_inputs == 1
+        assert revived.run(b"hello").return_code == 1

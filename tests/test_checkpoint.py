@@ -182,6 +182,71 @@ class TestCheckpointFile:
         with pytest.raises(CheckpointError, match="no loadable checkpoint"):
             load_checkpoint(path)
 
+    def test_all_generations_crc_corrupt_names_every_path(self, tmp_path):
+        """Corruption *past* the magic (valid header, bad body) on
+        every generation must surface as one clean CheckpointError
+        that names each generation tried — never a raw pickle or
+        CRC-arithmetic exception."""
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        save_checkpoint(campaign, path)
+        for candidate in (path, path + ".1"):
+            with open(candidate, "r+b") as handle:
+                handle.seek(len(CHECKPOINT_MAGIC) + 4 + 10)
+                handle.write(b"\xff\xff\xff\xff")
+        with pytest.raises(CheckpointError) as info:
+            load_checkpoint(path)
+        message = str(info.value)
+        assert "no loadable checkpoint generation" in message
+        assert path in message and (path + ".1") in message
+        assert "CRC" in message
+
+    def test_framed_non_dict_payload_is_clean_error(self, tmp_path):
+        """A file with valid magic + CRC framing whose pickle payload
+        is not a state dict is corruption, reported as CheckpointError
+        (naming the path), not an AttributeError downstream."""
+        import pickle
+        import zlib as _zlib
+        path = str(tmp_path / "c.ckpt")
+        body = pickle.dumps(["not", "a", "state", "dict"])
+        with open(path, "wb") as handle:
+            handle.write(
+                CHECKPOINT_MAGIC
+                + _zlib.crc32(body).to_bytes(4, "little")
+                + body
+            )
+        with pytest.raises(CheckpointError) as info:
+            load_checkpoint(path)
+        message = str(info.value)
+        assert "not a state dict" in message and path in message
+
+    def test_mixed_corruption_falls_back_then_reports_all(self, tmp_path):
+        """One CRC-torn generation plus one wrong-shape generation:
+        fallback consults both, and the final error lists both
+        failure reasons."""
+        import pickle
+        import zlib as _zlib
+        path = str(tmp_path / "c.ckpt")
+        campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))
+        save_checkpoint(campaign, path)
+        save_checkpoint(campaign, path)
+        with open(path, "r+b") as handle:   # newest: torn body
+            size = os.path.getsize(path)
+            handle.truncate(size // 2)
+        body = pickle.dumps(42)             # older: framed non-dict
+        with open(path + ".1", "wb") as handle:
+            handle.write(
+                CHECKPOINT_MAGIC
+                + _zlib.crc32(body).to_bytes(4, "little")
+                + body
+            )
+        with pytest.raises(CheckpointError) as info:
+            load_checkpoint(path)
+        message = str(info.value)
+        assert path in message and (path + ".1") in message
+        assert "not a state dict" in message
+
     def test_mechanism_mismatch_rejected(self, tmp_path):
         path = str(tmp_path / "c.ckpt")
         campaign = _campaign(CampaignConfig(budget_ns=1, seed=1))

@@ -34,6 +34,7 @@ RUNNABLE = {
     "pass_playground.py": [],
     "fuzz_gpmf.py": ["8"],        # 8 virtual ms instead of the default 120
     "run_experiment.py": [],
+    "fuzz_service.py": [],
 }
 
 EXEMPT = {"reproduce_paper.py"}
