@@ -22,8 +22,8 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 CELL_KEYS = {
-    "target", "mechanism", "execs", "wall_s", "execs_per_s",
-    "virtual_ns_per_exec",
+    "target", "mechanism", "optimized", "execs", "wall_s", "execs_per_s",
+    "virtual_ns_per_exec", "instructions_per_exec",
 }
 
 
@@ -37,12 +37,14 @@ def small_report():
 
 
 def test_report_schema(small_report):
-    assert small_report["schema"] == "repro-bench-wallclock/1"
+    assert small_report["schema"] == "repro-bench-wallclock/2"
     assert set(small_report["host"]) == {
         "python", "implementation", "machine", "system",
     }
     assert small_report["execs_per_cell"] == 30
-    assert len(small_report["cells"]) == 2
+    # closurex + fresh baselines, plus the automatic optimized-closurex
+    # cell run_bench adds whenever closurex is measured.
+    assert len(small_report["cells"]) == 3
     for cell in small_report["cells"]:
         assert set(cell) == CELL_KEYS
 
@@ -53,13 +55,26 @@ def test_throughput_is_positive_and_timed(small_report):
         assert cell["wall_s"] > 0
         assert cell["execs_per_s"] > 0
         assert cell["virtual_ns_per_exec"] > 0
+        assert cell["instructions_per_exec"] > 0
+
+
+def _by_variant(report):
+    return {(c["mechanism"], c["optimized"]): c for c in report["cells"]}
 
 
 def test_closurex_cheaper_than_fresh_in_virtual_time(small_report):
-    by_mechanism = {c["mechanism"]: c for c in small_report["cells"]}
+    cells = _by_variant(small_report)
     assert (
-        by_mechanism["closurex"]["virtual_ns_per_exec"]
-        < by_mechanism["fresh"]["virtual_ns_per_exec"]
+        cells[("closurex", False)]["virtual_ns_per_exec"]
+        < cells[("fresh", False)]["virtual_ns_per_exec"]
+    )
+
+
+def test_optimized_closurex_executes_fewer_instructions(small_report):
+    cells = _by_variant(small_report)
+    assert (
+        cells[("closurex", True)]["instructions_per_exec"]
+        < cells[("closurex", False)]["instructions_per_exec"]
     )
 
 
@@ -74,8 +89,11 @@ def test_checked_in_artifact_matches_schema():
     if not path.exists():
         pytest.skip("BENCH_wallclock.json not generated yet")
     report = json.loads(path.read_text())
-    assert report["schema"] == "repro-bench-wallclock/1"
+    assert report["schema"] == "repro-bench-wallclock/2"
     assert report["cells"], "artifact has no measurement cells"
+    optimized_cells = 0
     for cell in report["cells"]:
         assert set(cell) == CELL_KEYS
         assert cell["execs_per_s"] > 0
+        optimized_cells += cell["optimized"]
+    assert optimized_cells, "artifact carries no optimized cells"

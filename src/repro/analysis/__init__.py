@@ -13,6 +13,10 @@ around — the IR stays import-light):
   harness to elide provably-unnecessary work.
 - :mod:`repro.analysis.lint` — diagnostic lint rules with structured
   severities for CI gating.
+- :mod:`repro.analysis.opt` — the analysis-driven optimizer: validated
+  IR-to-IR transforms (mem2reg, SCCP, load forwarding, dead-store and
+  dead-code elimination, CFG simplification) gated by translation
+  validation against differential replay of the seed corpus.
 """
 
 from repro.analysis.callgraph import (
@@ -27,7 +31,9 @@ from repro.analysis.dataflow import (
     Liveness,
     ReachingDefinitions,
     alloca_slots,
+    dead_slot_stores,
     def_use_chains,
+    escaping_slots,
     live_values,
     reaching_stores,
     stores_reaching,
@@ -53,7 +59,9 @@ __all__ = [
     "Liveness",
     "ReachingDefinitions",
     "alloca_slots",
+    "dead_slot_stores",
     "def_use_chains",
+    "escaping_slots",
     "live_values",
     "reaching_stores",
     "stores_reaching",

@@ -196,6 +196,54 @@ def reaching_stores(function: Function) -> DataflowResult:
     return ReachingDefinitions().run(function)
 
 
+def escaping_slots(function: Function) -> set[int]:
+    """``id()``s of allocas whose address is used beyond direct
+    load/store — passed to a call, GEP'd, stored *as a value* — so
+    their contents can be observed through an alias the reaching-defs
+    domain does not model."""
+    escaped: set[int] = set()
+    for inst in function.instructions():
+        if not isinstance(inst, Alloca):
+            continue
+        for use in inst.uses:
+            user = use.user
+            if isinstance(user, Store) and use.index == 1:
+                continue
+            if isinstance(user, Load) and use.index == 0:
+                continue
+            escaped.add(id(inst))
+            break
+    return escaped
+
+
+def dead_slot_stores(function: Function) -> list[Store]:
+    """Stores to non-escaping alloca slots that no load can observe.
+
+    A store is dead when it is absent from every load's may-reach set:
+    "may reach no load" implies "observed by no load".  Escaping slots
+    are excluded entirely — an aliased pointer could read them outside
+    the reaching-definitions domain.  Shared by the dead-store-
+    elimination transform in :mod:`repro.analysis.opt` and the linter's
+    ``dead-store`` rule, so the two can never disagree.
+    """
+    if function.is_declaration:
+        return []
+    escaped = escaping_slots(function)
+    solution = reaching_stores(function)
+    observed: set[int] = set()
+    for inst in function.instructions():
+        if isinstance(inst, Load) and isinstance(inst.ptr, Alloca):
+            for store in stores_reaching(inst, solution):
+                observed.add(id(store))
+    dead: list[Store] = []
+    for inst in function.instructions():
+        if (isinstance(inst, Store) and isinstance(inst.ptr, Alloca)
+                and id(inst.ptr) not in escaped
+                and id(inst) not in observed):
+            dead.append(inst)
+    return dead
+
+
 def stores_reaching(load: Load, solution: DataflowResult) -> set[Store]:
     """The store instructions that may define the value *load* reads.
 

@@ -25,6 +25,10 @@ Rules:
     A call to an allocation-returning extern (``malloc`` family,
     ``fopen``) whose result is dropped: the allocated state leaks
     outside any tracked root.
+``dead-store`` (warning)
+    A store to a non-escaping stack slot that no load can observe
+    (reaching-definitions proof, shared with the optimizer's
+    dead-store elimination so linter and optimizer never disagree).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.analysis.callgraph import known_extern_names
+from repro.analysis.dataflow import dead_slot_stores
 from repro.ir import cfg
 from repro.ir.instructions import Call, Cast, GetElementPtr, Instruction, Store
 from repro.ir.module import Function, Module
@@ -99,6 +104,7 @@ class Linter:
         self._rule_dead_blocks(function)
         self._rule_unused_defs(function)
         self._rule_use_before_def(function)
+        self._rule_dead_stores(function)
         for inst in function.instructions():
             if isinstance(inst, Store):
                 self._rule_undeclared_global(function, inst)
@@ -135,6 +141,15 @@ class Linter:
         for message in checker.errors:
             self.report(Diagnostic(
                 Severity.ERROR, "use-before-def", function.name, message,
+            ))
+
+    def _rule_dead_stores(self, function: Function) -> None:
+        for store in dead_slot_stores(function):
+            slot = store.ptr
+            self.report(Diagnostic(
+                Severity.WARNING, "dead-store", function.name,
+                f"store to slot '{slot.ref()}' is never observed by a load",
+                block=store.parent.name if store.parent else None,
             ))
 
     def _rule_undeclared_global(self, function: Function, store: Store) -> None:

@@ -1,0 +1,265 @@
+"""Translation validation for the MiniIR optimizer.
+
+Three machine checks gate every transform (no silent miscompiles):
+
+1. **Verifier** — the strict-SSA structural verifier from
+   :mod:`repro.ir.verifier` must still pass.
+2. **Structural self-check** — every operand is defined inside the
+   same function, no erased instruction still holds a use edge, use
+   indices agree with operand slots, and phi incoming blocks are live
+   blocks of the function.  This catches bookkeeping bugs (dangling
+   uses, stale phi arms) that the verifier's value-level checks can
+   miss.
+3. **Differential replay** — the optimized module is re-executed on
+   the seed corpus in a throwaway VM (the
+   :mod:`repro.integrity.shadow` fresh-process discipline) and every
+   observation must be bit-identical to the unoptimized baseline:
+   status, return code, crash identity, coverage map, program output,
+   and the final virtual filesystem.
+
+A transform failing any check is rolled back from a
+:class:`ModuleCheckpoint` and reported as rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+
+#: Pinned ``vm.boot_time`` for replays: ``time()`` is the VM's one
+#: source of cross-process non-determinism (each VM normally observes a
+#: fresh boot-sequence number), and a differential check needs both
+#: sides of the diff to see the same clock.
+REPLAY_BOOT_TIME = 1_700_000_000
+
+#: Per-replay instruction budget (matches the harness default).
+REPLAY_INSTRUCTION_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class ReplayObservation:
+    """Everything externally observable about one replay of one input.
+
+    ``instructions`` is carried for reporting but deliberately excluded
+    from :meth:`matches` — changing the dynamic instruction count is
+    the optimizer's entire point.
+    """
+
+    status: str
+    return_code: int | None
+    crash: tuple[str, str, str] | None
+    coverage: bytes
+    output: tuple[str, ...]
+    files: tuple[tuple[str, bytes], ...]
+    instructions: int
+
+    def matches(self, other: "ReplayObservation") -> bool:
+        return (
+            self.status == other.status
+            and self.return_code == other.return_code
+            and self.crash == other.crash
+            and self.coverage == other.coverage
+            and self.output == other.output
+            and self.files == other.files
+        )
+
+    def describe_mismatch(self, other: "ReplayObservation") -> str:
+        """Human-readable first point of divergence against *other*."""
+        if self.status != other.status:
+            return f"status {self.status} != {other.status}"
+        if self.return_code != other.return_code:
+            return f"return code {self.return_code} != {other.return_code}"
+        if self.crash != other.crash:
+            return f"crash identity {self.crash} != {other.crash}"
+        if self.coverage != other.coverage:
+            return "coverage maps differ"
+        if self.output != other.output:
+            return "program output differs"
+        if self.files != other.files:
+            return "filesystem contents differ"
+        return "observations match"
+
+
+def _crash_identity(trap) -> tuple[str, str, str] | None:
+    if trap is None:
+        return None
+    kind, function, block = trap.identity()
+    return (getattr(kind, "name", str(kind)), function, block)
+
+
+def observe(module: Module, data: bytes,
+            instruction_limit: int = REPLAY_INSTRUCTION_LIMIT
+            ) -> ReplayObservation:
+    """Replay *data* against *module* in a throwaway VM.
+
+    ClosureX-instrumented modules (``target_main`` present) run one
+    harness iteration without restoration; anything else runs ``main``
+    directly, file-input style.  Deterministic by construction: fresh
+    filesystem, pinned boot time, default PRNG state.
+    """
+    from repro.passes.rename_main import TARGET_MAIN
+
+    if module.has_function(TARGET_MAIN):
+        return _observe_harness(module, data, instruction_limit)
+    return _observe_plain(module, data, instruction_limit)
+
+
+def _observe_harness(module: Module, data: bytes,
+                     instruction_limit: int) -> ReplayObservation:
+    from repro.runtime.harness import ClosureXHarness, HarnessConfig
+    from repro.vm.filesystem import VirtualFS
+
+    fs = VirtualFS()
+    harness = ClosureXHarness(
+        module, fs=fs,
+        config=HarnessConfig(instruction_limit=instruction_limit),
+    )
+    vm = harness.boot(charge_load=False)
+    vm.boot_time = REPLAY_BOOT_TIME
+    iteration = harness.run_test_case(data, restore=False)
+    return ReplayObservation(
+        status=iteration.status.name,
+        return_code=iteration.return_code,
+        crash=_crash_identity(iteration.trap),
+        coverage=bytes(vm.coverage_map),
+        output=tuple(vm.output),
+        files=tuple(sorted(fs.files.items())),
+        instructions=iteration.instructions,
+    )
+
+
+def _observe_plain(module: Module, data: bytes,
+                   instruction_limit: int) -> ReplayObservation:
+    from repro.execution.common import call_target
+    from repro.vm.filesystem import VirtualFS
+    from repro.vm.interpreter import VM
+
+    input_path = "/fuzz/input"
+    fs = VirtualFS()
+    fs.write_file(input_path, data)
+    vm = VM(module, fs=fs)
+    vm.load()
+    vm.boot_time = REPLAY_BOOT_TIME
+    vm.instruction_limit = vm.instructions_executed + instruction_limit
+    argc, argv = vm.setup_argv([module.name, input_path])
+    status, return_code, trap = call_target(
+        vm, module.get_function("main"), [argc, argv]
+    )
+    return ReplayObservation(
+        status=status.name,
+        return_code=return_code,
+        crash=_crash_identity(trap),
+        coverage=bytes(vm.coverage_map),
+        output=tuple(vm.output),
+        files=tuple(sorted(fs.files.items())),
+        instructions=vm.instructions_executed,
+    )
+
+
+def replay_mismatches(baseline: list[ReplayObservation], module: Module,
+                      inputs: list[bytes], limit: int = 3) -> list[str]:
+    """Replay *inputs* against *module* and diff each observation
+    against the corresponding *baseline* entry; returns up to *limit*
+    mismatch descriptions (empty list = bit-identical)."""
+    errors: list[str] = []
+    for i, (data, reference) in enumerate(zip(inputs, baseline)):
+        got = observe(module, data)
+        if not reference.matches(got):
+            errors.append(f"replay of input {i}: "
+                          f"{reference.describe_mismatch(got)}")
+            if len(errors) >= limit:
+                break
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# structural self-check
+# ---------------------------------------------------------------------------
+
+
+def structural_errors(module: Module, limit: int = 5) -> list[str]:
+    """Def-use bookkeeping invariants the verifier does not cover.
+
+    Checks, per defined function: instruction parent links point at a
+    block of this function; instruction operands are attached
+    instructions of the same function; no use edge is held by a
+    detached (erased) instruction; every use's ``index`` names the
+    operand slot that actually references the value; and phi incoming
+    blocks are blocks of the function.
+    """
+    errors: list[str] = []
+    for function in module.defined_functions():
+        members: set[int] = set()
+        block_ids = {id(b) for b in function.blocks}
+        for block in function.blocks:
+            for inst in block.instructions:
+                members.add(id(inst))
+        for block in function.blocks:
+            where = f"@{function.name}:%{block.name}"
+            for inst in block.instructions:
+                if inst.parent is not block:
+                    errors.append(f"{where}: '{inst}' has a broken parent link")
+                for index, op in enumerate(inst.operands):
+                    if isinstance(op, Instruction) and id(op) not in members:
+                        errors.append(
+                            f"{where}: operand {index} of '{inst}' is a "
+                            f"detached instruction '{op.ref()}'"
+                        )
+                if isinstance(inst, Phi):
+                    for pred in inst.incoming_blocks:
+                        if id(pred) not in block_ids:
+                            errors.append(
+                                f"{where}: phi '{inst.ref()}' has an arm "
+                                f"from removed block %{pred.name}"
+                            )
+                for use in inst.uses:
+                    user = use.user
+                    if not isinstance(user, Instruction):
+                        continue
+                    if user.parent is None:
+                        errors.append(
+                            f"{where}: erased instruction still holds a "
+                            f"use of '{inst.ref()}'"
+                        )
+                    elif (use.index >= user.num_operands
+                          or user.get_operand(use.index) is not inst):
+                        errors.append(
+                            f"{where}: use of '{inst.ref()}' by "
+                            f"'{user.ref()}' has a stale operand index"
+                        )
+                if len(errors) >= limit:
+                    return errors
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / rollback
+# ---------------------------------------------------------------------------
+
+
+class ModuleCheckpoint:
+    """Printed-text snapshot of a module, restorable in place.
+
+    Capture is one ``print_module`` (cheap, exercised by the round-trip
+    golden tests); the parse cost is only paid on the rare rejection
+    path.  ``restore`` grafts the re-parsed functions, globals, and
+    structs back into the *same* :class:`Module` object so references
+    held by the caller stay valid.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.text = print_module(module)
+
+    def restore(self) -> None:
+        fresh = parse_module(self.text)
+        module = self.module
+        module.functions = fresh.functions
+        module.globals = fresh.globals
+        module.structs = fresh.structs
+        for function in module.functions.values():
+            function.module = module

@@ -23,17 +23,28 @@ from repro.targets import get_target
 MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
 
 
-def build_executor(target_name: str, mechanism: str, kernel: Kernel) -> Executor:
-    """Instrument the target for *mechanism* and wrap it in an executor."""
+def build_executor(target_name: str, mechanism: str, kernel: Kernel,
+                   optimize: bool = False) -> Executor:
+    """Instrument the target for *mechanism* and wrap it in an executor.
+
+    With ``optimize=True`` the instrumented module is additionally run
+    through the validated IR optimizer (:mod:`repro.analysis.opt`)
+    before wrapping — observations are proven bit-identical, only the
+    per-execution instruction count changes.
+    """
     spec = get_target(target_name)
     if mechanism == "closurex":
-        return ClosureXExecutor(spec.build_closurex(), spec.image_bytes, kernel)
+        return ClosureXExecutor(spec.build_closurex(optimize=optimize),
+                                spec.image_bytes, kernel)
     if mechanism == "forkserver":
-        return ForkServerExecutor(spec.build_baseline(), spec.image_bytes, kernel)
+        return ForkServerExecutor(spec.build_baseline(optimize=optimize),
+                                  spec.image_bytes, kernel)
     if mechanism == "persistent":
-        return NaivePersistentExecutor(spec.build_persistent(), spec.image_bytes, kernel)
+        return NaivePersistentExecutor(spec.build_persistent(optimize=optimize),
+                                       spec.image_bytes, kernel)
     if mechanism == "fresh":
-        return FreshProcessExecutor(spec.build_baseline(), spec.image_bytes, kernel)
+        return FreshProcessExecutor(spec.build_baseline(optimize=optimize),
+                                    spec.image_bytes, kernel)
     raise ValueError(f"unknown mechanism {mechanism!r}")
 
 

@@ -50,15 +50,26 @@ def _cached(function: Function, key: str, compute: Callable[[Function], object])
         _CACHE[function] = entry
     result = entry.results.get(key)
     if result is None:
-        result = entry.results[key] = compute(function)
+        result = compute(function)
+        # Cache only if the function did not mutate *during* compute
+        # (a buggy analysis that edits the IR mid-traversal must not
+        # poison the cache for the epoch it bumped away from).
+        if function.cfg_epoch == entry.epoch:
+            entry.results[key] = result
     return result
 
 
 def invalidate(function: Function) -> None:
     """Explicitly drop cached CFG facts for *function*.
 
-    Equivalent to :meth:`Function.invalidate_cfg`; needed after in-place
-    terminator retargeting, which the mutation hooks cannot observe.
+    Equivalent to :meth:`Function.invalidate_cfg`.  All built-in
+    mutation paths — block insertion/removal (including
+    :meth:`Function.remove_block`), instruction insertion/removal, and
+    in-place terminator retargeting through the ``Br.target`` /
+    ``CondBr.if_true`` / ``CondBr.if_false`` / ``Switch.default``
+    property setters and :meth:`Switch.retarget_successor` — already
+    bump the epoch; this remains for callers mutating the CFG through
+    some back door (e.g. editing ``Switch.cases`` directly).
     """
     function.invalidate_cfg()
     _CACHE.pop(function, None)

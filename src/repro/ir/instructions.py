@@ -400,6 +400,21 @@ class Phi(Instruction):
         self.add_operand(value)
         self.incoming_blocks.append(block)
 
+    def remove_incoming(self, block: "BasicBlock") -> int:
+        """Drop every incoming arm for *block*; returns arms removed.
+
+        Used by CFG-mutating transforms after deleting an edge or an
+        entire predecessor block, so the verifier's phi/predecessor
+        agreement check keeps holding.
+        """
+        removed = 0
+        for i in range(len(self.incoming_blocks) - 1, -1, -1):
+            if self.incoming_blocks[i] is block:
+                self.remove_operand(i)
+                self.incoming_blocks.pop(i)
+                removed += 1
+        return removed
+
     def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
         return list(zip(self.operands, self.incoming_blocks))
 
@@ -415,24 +430,44 @@ class Phi(Instruction):
 
 
 class Br(Instruction):
-    """Unconditional branch."""
+    """Unconditional branch.
+
+    ``target`` is a property whose setter bumps the parent function's
+    ``cfg_epoch``: retargeting a branch in place is a CFG mutation the
+    block-level hooks cannot see, and a stale dominator tree after such
+    an edit would silently miscompile the optimizer's next query.
+    """
 
     opcode = "br"
     is_terminator = True
 
     def __init__(self, target: "BasicBlock"):
         super().__init__(VoidType())
-        self.target = target
+        self._target = target
+
+    @property
+    def target(self) -> "BasicBlock":
+        return self._target
+
+    @target.setter
+    def target(self, block: "BasicBlock") -> None:
+        self._target = block
+        if self.parent is not None:
+            self.parent._touch_cfg()
 
     def successors(self) -> list["BasicBlock"]:
-        return [self.target]
+        return [self._target]
 
     def __str__(self) -> str:
         return f"br label %{self.target.name}"
 
 
 class CondBr(Instruction):
-    """Two-way conditional branch on an ``i1``."""
+    """Two-way conditional branch on an ``i1``.
+
+    Like :class:`Br`, the target attributes are epoch-bumping
+    properties so in-place retargeting invalidates cached CFG facts.
+    """
 
     opcode = "condbr"
     is_terminator = True
@@ -442,15 +477,35 @@ class CondBr(Instruction):
             raise TypeError("conditional branch requires an i1 condition")
         super().__init__(VoidType())
         self.add_operand(cond)
-        self.if_true = if_true
-        self.if_false = if_false
+        self._if_true = if_true
+        self._if_false = if_false
 
     @property
     def cond(self) -> Value:
         return self.get_operand(0)
 
+    @property
+    def if_true(self) -> "BasicBlock":
+        return self._if_true
+
+    @if_true.setter
+    def if_true(self, block: "BasicBlock") -> None:
+        self._if_true = block
+        if self.parent is not None:
+            self.parent._touch_cfg()
+
+    @property
+    def if_false(self) -> "BasicBlock":
+        return self._if_false
+
+    @if_false.setter
+    def if_false(self, block: "BasicBlock") -> None:
+        self._if_false = block
+        if self.parent is not None:
+            self.parent._touch_cfg()
+
     def successors(self) -> list["BasicBlock"]:
-        return [self.if_true, self.if_false]
+        return [self._if_true, self._if_false]
 
     def __str__(self) -> str:
         return (
@@ -470,19 +525,44 @@ class Switch(Instruction):
             raise TypeError("switch requires an integer operand")
         super().__init__(VoidType())
         self.add_operand(value)
-        self.default = default
+        self._default = default
         self.cases: list[tuple[int, "BasicBlock"]] = []
 
     @property
     def value(self) -> Value:
         return self.get_operand(0)
 
+    @property
+    def default(self) -> "BasicBlock":
+        return self._default
+
+    @default.setter
+    def default(self, block: "BasicBlock") -> None:
+        self._default = block
+        if self.parent is not None:
+            self.parent._touch_cfg()
+
     def add_case(self, const: int, block: "BasicBlock") -> None:
         assert isinstance(self.value.type, IntType)
         self.cases.append((self.value.type.wrap(const), block))
 
+    def retarget_successor(self, old: "BasicBlock", new: "BasicBlock") -> int:
+        """Rewrite every edge to *old* (default or case) to point at
+        *new*; returns edges rewritten.  Bumps the CFG epoch."""
+        rewritten = 0
+        if self._default is old:
+            self._default = new
+            rewritten += 1
+        for i, (const, block) in enumerate(self.cases):
+            if block is old:
+                self.cases[i] = (const, new)
+                rewritten += 1
+        if rewritten and self.parent is not None:
+            self.parent._touch_cfg()
+        return rewritten
+
     def successors(self) -> list["BasicBlock"]:
-        return [self.default] + [b for _, b in self.cases]
+        return [self._default] + [b for _, b in self.cases]
 
     def __str__(self) -> str:
         body = " ".join(

@@ -147,6 +147,22 @@ class Function(GlobalValue):
         self.invalidate_cfg()
         return block
 
+    def remove_block(self, block: BasicBlock) -> BasicBlock:
+        """Detach *block* from this function, bumping the CFG epoch.
+
+        The caller is responsible for the block's contents: remaining
+        instructions keep their operand uses until dropped, and any
+        terminator elsewhere still targeting the block leaves the CFG
+        inconsistent.  Removing the entry block is refused — every
+        function needs one.
+        """
+        if block is self.blocks[0]:
+            raise ValueError(f"cannot remove entry block %{block.name}")
+        self.blocks.remove(block)
+        block.parent = None
+        self.invalidate_cfg()
+        return block
+
     def _unique_block_name(self, hint: str) -> str:
         if not hint:
             return self.next_block_name()

@@ -113,6 +113,21 @@ class User(Value):
     def get_operand(self, index: int) -> Value:
         return self._operands[index]
 
+    def remove_operand(self, index: int) -> Value:
+        """Remove operand *index*, re-indexing the remaining use edges.
+
+        Every later :class:`Use` shifts down by one so ``use.index``
+        always names the operand slot it occupies — the invariant the
+        structural self-check in ``repro.analysis.opt`` relies on.
+        Returns the removed value.
+        """
+        value = self._operands.pop(index)
+        use = self._uses_of_operands.pop(index)
+        value.remove_use(use)
+        for later in self._uses_of_operands[index:]:
+            later.index -= 1
+        return value
+
     def drop_all_operands(self) -> None:
         """Detach this user from everything it references."""
         for value, use in zip(self._operands, self._uses_of_operands):

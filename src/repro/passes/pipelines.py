@@ -15,6 +15,12 @@ ClosureX builds of a target share identical edge ids, keeping coverage
 numbers directly comparable (paper §5.3).  Skipping non-coverage passes
 cannot perturb edge ids: those passes never add or remove basic blocks,
 so the seeded id sequence is unchanged.
+
+Every pipeline accepts ``optimize=True`` to follow instrumentation with
+the validated IR optimizer (:mod:`repro.analysis.opt`): each transform
+must survive strict-SSA verification, a structural self-check, and —
+given ``optimize_seeds`` — differential replay proving bit-identical
+observations against the unoptimized module.  Off by default.
 """
 
 from __future__ import annotations
@@ -105,21 +111,56 @@ def pollution_aware_passes(
     return passes
 
 
+def optimize_build(
+    module: Module,
+    seeds: tuple[bytes, ...] = (),
+    extra_allocators: dict[str, str] | None = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+    tracer: Tracer = NULL_TRACER,
+):
+    """Run the validated optimizer over an instrumented *module*.
+
+    Imported lazily: :mod:`repro.analysis.opt` replays modules through
+    the VM stack, which itself imports this module for pipeline
+    construction.  Returns the
+    :class:`~repro.analysis.opt.optimizer.OptimizationReport`.
+    """
+    from repro.analysis.opt import optimize_module
+
+    return optimize_module(
+        module, seeds=seeds, extra_allocators=extra_allocators,
+        metrics=metrics, tracer=tracer,
+    )
+
+
 def closurex_pipeline(
     module: Module,
     coverage_seed: int | None = None,
     extra_allocators: dict[str, str] | None = None,
     skip: set[str] | None = None,
+    optimize: bool = False,
+    optimize_seeds: tuple[bytes, ...] = (),
 ) -> list[PassResult]:
     """Instrument *module* in place for ClosureX execution."""
     manager = PassManager(closurex_passes(coverage_seed, extra_allocators, skip))
-    return manager.run(module)
+    results = manager.run(module)
+    if optimize:
+        optimize_build(module, optimize_seeds, extra_allocators)
+    return results
 
 
-def baseline_pipeline(module: Module, coverage_seed: int | None = None) -> list[PassResult]:
+def baseline_pipeline(
+    module: Module,
+    coverage_seed: int | None = None,
+    optimize: bool = False,
+    optimize_seeds: tuple[bytes, ...] = (),
+) -> list[PassResult]:
     """Instrument *module* in place for baseline (AFL++) execution."""
     manager = PassManager(baseline_passes(coverage_seed))
-    return manager.run(module)
+    results = manager.run(module)
+    if optimize:
+        optimize_build(module, optimize_seeds)
+    return results
 
 
 def pollution_aware_pipeline(
@@ -129,6 +170,8 @@ def pollution_aware_pipeline(
     report: PollutionReport | None = None,
     metrics: MetricsRegistry = NULL_METRICS,
     tracer: Tracer = NULL_TRACER,
+    optimize: bool = False,
+    optimize_seeds: tuple[bytes, ...] = (),
 ) -> tuple[list[PassResult], PollutionReport]:
     """Analyze then instrument *module* in place, eliding proven-clean passes.
 
@@ -147,4 +190,8 @@ def pollution_aware_pipeline(
         pollution_aware_passes(report, coverage_seed, extra_allocators),
         tracer=tracer,
     )
-    return manager.run(module), report
+    results = manager.run(module)
+    if optimize:
+        optimize_build(module, optimize_seeds, extra_allocators,
+                       metrics=metrics, tracer=tracer)
+    return results, report

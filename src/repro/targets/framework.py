@@ -71,26 +71,54 @@ class TargetSpec:
         """Compile the raw (uninstrumented) module."""
         return compile_c(self.source, self.name)
 
-    def build_baseline(self) -> Module:
+    def build_baseline(self, optimize: bool = False) -> Module:
         """AFL++-style build: coverage instrumentation only."""
         module = self.compile()
         PassManager(baseline_passes(self.coverage_seed)).run(module)
+        if optimize:
+            self._optimize(module)
         return module
 
-    def build_closurex(self, skip: set[str] | None = None) -> Module:
+    def build_closurex(self, skip: set[str] | None = None,
+                       optimize: bool = False) -> Module:
         """Full ClosureX instrumentation; *skip* drops passes (ablation)."""
         module = self.compile()
         manager = PassManager(
             closurex_passes(self.coverage_seed, self.extra_allocators, skip)
         )
         manager.run(module)
+        if optimize:
+            self._optimize(module)
         return module
 
-    def build_persistent(self) -> Module:
+    def build_persistent(self, optimize: bool = False) -> Module:
         """Naive persistent-mode build (renamed entry, no tracking)."""
         module = self.compile()
         PassManager(persistent_passes(self.coverage_seed)).run(module)
+        if optimize:
+            self._optimize(module)
         return module
+
+    def build_optimized(self):
+        """ClosureX build run through the validated optimizer.
+
+        Returns the module and the
+        :class:`~repro.analysis.opt.optimizer.OptimizationReport`
+        describing what was applied, rejected, and replayed.
+        """
+        module = self.build_closurex()
+        return module, self._optimize(module)
+
+    def _optimize(self, module: Module):
+        # Lazy import: repro.analysis.opt replays modules through the
+        # VM/harness stack, which imports this package for builds.
+        from repro.analysis.opt import optimize_module
+
+        return optimize_module(
+            module,
+            seeds=tuple(self.seeds),
+            extra_allocators=self.extra_allocators,
+        )
 
     def analyze(self) -> PollutionReport:
         """Pollution-classify the raw module (no instrumentation)."""

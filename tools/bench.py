@@ -40,48 +40,69 @@ DEFAULT_MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
 
 
 def measure_cell(target: str, mechanism: str, execs: int,
-                 warmup: int = 5) -> dict:
+                 warmup: int = 5, optimized: bool = False) -> dict:
     """Time *execs* real executions of *target* under *mechanism*.
 
     Inputs cycle through the target's seed corpus so the measurement
     exercises the same paths a campaign's early iterations would.
-    Returns the schema cell stored in ``BENCH_wallclock.json``.
+    With ``optimized=True`` the module is first run through the
+    validated IR optimizer, so the optimized-vs-baseline delta lands
+    in the artifact.  Returns the schema cell stored in
+    ``BENCH_wallclock.json``.
     """
     spec = get_target(target)
-    executor = build_executor(target, mechanism, Kernel())
+    executor = build_executor(target, mechanism, Kernel(),
+                              optimize=optimized)
     inputs = itertools.cycle(spec.seeds)
     for _ in range(warmup):
         executor.run(next(inputs))
     virtual_ns = 0
+    instructions = 0
     start = time.perf_counter()
     for _ in range(execs):
-        virtual_ns += executor.run(next(inputs)).ns
+        result = executor.run(next(inputs))
+        virtual_ns += result.ns
+        instructions += result.instructions
     wall_s = time.perf_counter() - start
     executor.shutdown()
     return {
         "target": target,
         "mechanism": mechanism,
+        "optimized": optimized,
         "execs": execs,
         "wall_s": round(wall_s, 6),
         "execs_per_s": round(execs / wall_s, 2) if wall_s > 0 else 0.0,
         "virtual_ns_per_exec": round(virtual_ns / execs, 1),
+        "instructions_per_exec": round(instructions / execs, 1),
     }
 
 
 def run_bench(targets, mechanisms, execs: int) -> dict:
-    """Measure every (target, mechanism) cell; returns the full report."""
+    """Measure every (target, mechanism) cell; returns the full report.
+
+    Each target additionally gets an optimized ``closurex`` cell
+    (when ``closurex`` is among the mechanisms), so the artifact
+    always carries the optimizer's throughput delta next to its
+    baseline.
+    """
     cells = []
     for target in targets:
-        for mechanism in mechanisms:
-            cell = measure_cell(target, mechanism, execs)
+        variants = [(m, False) for m in mechanisms]
+        if "closurex" in mechanisms:
+            variants.append(("closurex", True))
+        for mechanism, optimized in variants:
+            cell = measure_cell(target, mechanism, execs,
+                                optimized=optimized)
             cells.append(cell)
+            label = mechanism + ("+opt" if optimized else "")
             print(
-                f"{target:12s} {mechanism:12s} "
+                f"{target:12s} {label:12s} "
                 f"{cell['execs_per_s']:>10.1f} execs/s  "
-                f"({cell['wall_s']:.3f}s wall)"
+                f"({cell['wall_s']:.3f}s wall, "
+                f"{cell['instructions_per_exec']:.0f} insts/exec)"
             )
     return {
-        "schema": "repro-bench-wallclock/1",
+        "schema": "repro-bench-wallclock/2",
         "host": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
