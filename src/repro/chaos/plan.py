@@ -53,6 +53,20 @@ class FaultSite(enum.Enum):
     WORKER_WEDGE = "worker-wedge"            # campaign worker stops stepping
     CKPT_TORN = "ckpt-torn"                  # checkpoint write torn mid-job
     CLOCK_OVERRUN = "clock-overrun"          # job overruns its budget slice
+    # Disk-fault sites (repro.store): polled inside the durable-storage
+    # primitives (``atomic_write`` / ``AppendLog``), so every store —
+    # checkpoints, journals, result streams, corpus objects — inherits
+    # them through one seam.  TORN_WRITE and LOST_RENAME model power
+    # cuts (the injected fault propagates as the simulated process
+    # death, leaving torn temp files exactly as a real crash would);
+    # ENOSPC and EIO_FSYNC surface as the real ``OSError`` errno a
+    # caller would see; BIT_FLIP is silent — the write "succeeds" and
+    # only CRC/digest verification catches it later.
+    TORN_WRITE = "torn-write"                # power cut mid-write
+    ENOSPC = "enospc"                        # disk full mid-write
+    EIO_FSYNC = "eio-fsync"                  # fsync barrier fails with EIO
+    LOST_RENAME = "lost-rename"              # crash inside the rename window
+    BIT_FLIP = "bit-flip"                    # silent single-bit rot
 
 
 #: Human-readable errno-style details per site (purely descriptive).
@@ -74,6 +88,11 @@ _DEFAULT_DETAIL = {
     FaultSite.WORKER_WEDGE: "worker-wedged",
     FaultSite.CKPT_TORN: "checkpoint-torn",
     FaultSite.CLOCK_OVERRUN: "budget-overrun",
+    FaultSite.TORN_WRITE: "torn-write",
+    FaultSite.ENOSPC: "ENOSPC",
+    FaultSite.EIO_FSYNC: "EIO",
+    FaultSite.LOST_RENAME: "rename-lost",
+    FaultSite.BIT_FLIP: "bit-flipped",
 }
 
 
@@ -130,6 +149,15 @@ class FaultPlan:
     SERVICE_SITES = (
         FaultSite.JOB_QUEUE_DROP, FaultSite.WORKER_WEDGE,
         FaultSite.CKPT_TORN, FaultSite.CLOCK_OVERRUN,
+    )
+
+    #: Disk-fault sites (see :class:`FaultSite`): polled inside
+    #: ``repro.store``'s I/O primitives.  Opt-in — arm them with
+    #: :func:`repro.store.install_disk_faults` / ``disk_chaos`` so every
+    #: store in the process inherits the plan through the one I/O seam.
+    DISK_SITES = (
+        FaultSite.TORN_WRITE, FaultSite.ENOSPC, FaultSite.EIO_FSYNC,
+        FaultSite.LOST_RENAME, FaultSite.BIT_FLIP,
     )
 
     @classmethod

@@ -12,26 +12,27 @@ ordered by virtual time, terminated by exactly one ``{"kind": "final",
 ...}`` record.  Records are canonical JSON (sorted keys, no
 whitespace), so the byte content of a stream — and therefore the
 store's sha256 :meth:`ResultsStore.digest` — is a pure function of the
-spec.  Appends are flushed line-by-line: a fuzzer-process death leaves
-a valid prefix, and :meth:`ResultsStore.truncate_after` trims any
-samples past the last campaign checkpoint so a resumed trial rejoins
-its stream exactly where the checkpoint replays from.
+spec.
+
+Durability is :mod:`repro.store`'s: each trial stream is an
+:class:`repro.store.AppendLog` (flushed line-by-line, fsynced on the
+configured cadence, torn-tail tolerant), the spec binding and resume
+truncation go through :func:`repro.store.atomic_write`, and the whole
+store therefore sits behind the disk-fault chaos seam — an ``ENOSPC``
+mid-append leaves a torn tail that reads ignore and the next
+successful append repairs, so a store that ran out of space resumes
+cleanly once space returns.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 
+from repro.store import AppendLog, StoreError, atomic_write
+from repro.store.log import canonical_line
 
-def canonical_line(record: dict) -> str:
-    """One record in the store's canonical JSON form (no newline)."""
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
-
-
-class StoreError(RuntimeError):
-    """A results store that cannot be read or extended as asked."""
+__all__ = ["ResultsStore", "StoreError", "canonical_line"]
 
 
 class ResultsStore:
@@ -57,7 +58,7 @@ class ResultsStore:
         self.fsync_every = fsync_every
         self.trials_dir = os.path.join(root, "trials")
         self.checkpoints_dir = os.path.join(root, "checkpoints")
-        self._unsynced: dict[str, int] = {}
+        self._logs: dict[str, AppendLog] = {}
         os.makedirs(self.trials_dir, exist_ok=True)
         os.makedirs(self.checkpoints_dir, exist_ok=True)
 
@@ -75,6 +76,24 @@ class ResultsStore:
     def spec_path(self) -> str:
         """Where the canonical spec JSON lives."""
         return os.path.join(self.root, "spec.json")
+
+    def _log(self, trial_id: str) -> AppendLog:
+        log = self._logs.get(trial_id)
+        if log is None:
+            log = AppendLog(
+                self.trial_path(trial_id), fsync_every=self.fsync_every
+            )
+            self._logs[trial_id] = log
+        return log
+
+    @property
+    def _unsynced(self) -> dict[str, int]:
+        """Pending (flushed-but-unfsynced) append counts per trial —
+        the batching state the tests introspect, read off the
+        underlying logs."""
+        return {
+            trial_id: log._pending for trial_id, log in self._logs.items()
+        }
 
     # -- spec binding ---------------------------------------------------
 
@@ -95,59 +114,33 @@ class ResultsStore:
                     "experiment spec; use a fresh --out directory"
                 )
             return
-        tmp = self.spec_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(canonical)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.spec_path)
+        atomic_write(self.spec_path, canonical.encode("utf-8"))
 
     # -- appends --------------------------------------------------------
 
     def append(self, trial_id: str, record: dict) -> None:
         """Append one record to the trial's stream, flushed to disk and
-        fsynced on the configured cadence (see class docstring)."""
-        pending = self._unsynced.get(trial_id, 0) + 1
-        barrier = (
-            pending >= self.fsync_every or record.get("kind") == "final"
+        fsynced on the configured cadence (see class docstring);
+        ``final`` records always take the barrier."""
+        self._log(trial_id).append(
+            record, sync=record.get("kind") == "final"
         )
-        with open(self.trial_path(trial_id), "a", encoding="utf-8") as handle:
-            handle.write(canonical_line(record) + "\n")
-            handle.flush()
-            if barrier:
-                os.fsync(handle.fileno())
-        self._unsynced[trial_id] = 0 if barrier else pending
 
     def sync(self, trial_id: str) -> None:
         """Force the disk barrier for one trial's stream now (no-op when
         nothing is pending since the last fsync)."""
-        if not self._unsynced.get(trial_id):
-            return
-        with open(self.trial_path(trial_id), "a", encoding="utf-8") as handle:
-            os.fsync(handle.fileno())
-        self._unsynced[trial_id] = 0
+        self._log(trial_id).sync()
 
     # -- reads ----------------------------------------------------------
 
     def read(self, trial_id: str) -> list[dict]:
         """All records of one trial stream (empty if absent).
 
-        A trailing partial line (a crash mid-append) is dropped rather
-        than raised: the stream's valid prefix is the trial's state.
+        A trailing partial line (a crash or ``ENOSPC`` mid-append) is
+        dropped rather than raised: the stream's valid prefix is the
+        trial's state.
         """
-        path = self.trial_path(trial_id)
-        if not os.path.exists(path):
-            return []
-        records: list[dict] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    break  # torn tail: keep the valid prefix
+        records, _damage = self._log(trial_id).scan()
         return records
 
     def completed(self, trial_id: str) -> bool:
@@ -180,24 +173,16 @@ class ResultsStore:
             if record.get("clock_ns", 0) <= clock_ns
             and record.get("kind") != "final"
         ]
-        path = self.trial_path(trial_id)
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for record in kept:
-                handle.write(canonical_line(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        self._unsynced.pop(trial_id, None)
+        self._log(trial_id).rewrite(kept)
         return len(kept)
 
     def reset_trial(self, trial_id: str) -> None:
         """Forget a trial entirely (stream + checkpoints): the trial
         restarts from scratch on the next scheduler pass."""
-        for path in (self.trial_path(trial_id),):
-            if os.path.exists(path):
-                os.remove(path)
-        self._unsynced.pop(trial_id, None)
+        self._logs.pop(trial_id, None)
+        path = self.trial_path(trial_id)
+        if os.path.exists(path):
+            os.remove(path)
         prefix = os.path.basename(self.checkpoint_path(trial_id))
         for name in os.listdir(self.checkpoints_dir):
             if name == prefix or name.startswith(prefix + "."):

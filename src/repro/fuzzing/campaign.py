@@ -70,6 +70,18 @@ class CampaignConfig:
     # Observability; the default is the shared null stack (zero events,
     # zero files, no measurable overhead).
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    # Content-addressed corpus persistence: a live
+    # :class:`repro.store.CorpusStore` (duck-typed ``put(data, owner)``)
+    # into which every queue entry's payload is stored under
+    # ``corpus_owner``, deduplicating identical inputs across
+    # campaigns, shards, and tenants and letting the parallel sync
+    # protocol exchange digests instead of payloads.  Process-local:
+    # the store handle is never pickled into checkpoints (resume
+    # re-registers the corpus with whatever store the new process
+    # configures).  ``corpus_owner`` defaults to
+    # ``campaign-s<seed>-w<shard_id>``.
+    corpus_store: object | None = None
+    corpus_owner: str | None = None
 
 
 @dataclass
@@ -137,6 +149,10 @@ class Campaign:
         self._next_checkpoint_ns: int | None = None
         self._deadline_ns = self.config.budget_ns
         self._halted = False
+        self.corpus_store = self.config.corpus_store
+        self.corpus_owner = self.config.corpus_owner or (
+            f"campaign-s{self.config.seed}-w{self.config.shard_id}"
+        )
         executor.exec_instruction_limit = self.config.exec_instruction_limit
         # Telemetry: the null stack unless the config opts in, in which
         # case the executor (and through it the kernel) share our tracer.
@@ -354,12 +370,30 @@ class Campaign:
         self._timeline = list(state["timeline"])
         self._next_sample_ns = state["next_sample_ns"]
         self.executor.restore_state(state["executor_state"])
+        # Re-register the resumed corpus with the store: the payloads
+        # are usually already objects on disk (puts are idempotent), but
+        # a resume under a fresh store root — or one whose objects were
+        # quarantined — must leave the store able to resolve every
+        # digest the sync protocol may announce.
+        if self.corpus_store is not None:
+            for entry in self.corpus.entries:
+                self._store_input(entry.data)
         # Pin the clock back to the checkpointed instant so the re-boot
         # we just paid does not shift the continuation off the original
         # timeline — this is what makes resume bit-identical.
         self.clock.now_ns = state["clock_ns"]
 
     # ------------------------------------------------------------------
+
+    def _store_input(self, data: bytes) -> None:
+        """Persist one queue payload into the shared corpus store.
+
+        Off the virtual timeline by construction — the store touches
+        neither the clock nor the mutation RNG — so campaigns with and
+        without a store are bit-identical.
+        """
+        if self.corpus_store is not None:
+            self.corpus_store.put(data, owner=self.corpus_owner)
 
     def _seed_queue(self) -> None:
         for seed in self.seeds:
@@ -371,6 +405,7 @@ class Campaign:
                 seed, coverage_signature(result.coverage),
                 result.ns, self.clock.now_ns,
             )
+            self._store_input(seed)
 
     def _trim_entry(self, entry: QueueEntry, deadline_ns: int) -> None:
         """AFL-style trimming: delete chunks as long as the coverage
@@ -406,6 +441,7 @@ class Campaign:
                     len(entry.data) - len(data)
                 )
             entry.data = data
+            self._store_input(data)
 
     def _deterministic_stage(self, entry: QueueEntry, deadline_ns: int) -> None:
         budget = self.config.det_stage_cap
@@ -439,6 +475,7 @@ class Campaign:
                 data, coverage_signature(result.coverage),
                 result.ns, self.clock.now_ns, parent,
             )
+            self._store_input(data)
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter("corpus.adds").inc()
                 if self.telemetry.tracer.enabled:
@@ -469,6 +506,7 @@ class Campaign:
             data, coverage_signature(result.coverage),
             result.ns, self.clock.now_ns,
         )
+        self._store_input(data)
         if self.telemetry.enabled:
             self.telemetry.metrics.counter("corpus.imports").inc()
             if self.telemetry.tracer.enabled:

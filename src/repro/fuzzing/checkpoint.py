@@ -10,19 +10,27 @@ identically** to a run that was never interrupted: the RNG replays the
 same mutation stream, the clock re-enters at the same virtual
 nanosecond, and the corpus scheduler picks the same entries.
 
-Durability, in three layers:
+Durability rides on :mod:`repro.store`'s framed-file stack:
 
-- **atomic writes** — tmp + fsync + ``os.replace``, so a crash
-  mid-checkpoint leaves the previous file intact;
+- **atomic writes** — tmp + fsync + ``os.replace`` + parent-directory
+  fsync, so a crash mid-checkpoint leaves the previous file intact
+  and the rename itself survives power loss;
 - **integrity framing** — the ``RPRCKPT1`` header carries a CRC32 of
   the pickle payload, so silent on-disk corruption (bit rot, a torn
-  page, a partial copy) is detected at load instead of surfacing as an
-  arbitrary unpickling error or — worse — a subtly wrong resume;
+  page, a partial copy) is detected at load — with the byte offset and
+  expected/actual CRC in the error — instead of surfacing as an
+  arbitrary unpickling error or, worse, a subtly wrong resume;
 - **rotation** — each save shifts the previous checkpoint to
   ``path.1`` (and so on up to *keep* generations), and loading falls
   back through the generations to the newest file that passes magic +
   CRC + version, so one corrupted checkpoint costs an interval of
   progress, never the campaign.
+
+Because the write path is :func:`repro.store.atomic_write`, campaign
+checkpoints also sit behind the disk-fault chaos seam
+(``FaultPlan.DISK_SITES``): torn writes, ``ENOSPC``, fsync ``EIO``,
+lost renames, and bit flips inject here without checkpoint-specific
+hooks.
 
 Executor process state (booted VMs, harness snapshots) is *not*
 serialised: on resume the executor re-boots and the clock is then
@@ -37,14 +45,15 @@ from __future__ import annotations
 
 import os
 import pickle
-import zlib
+
+from repro.store.errors import FrameError
+from repro.store.framed import read_framed, write_framed
+from repro.store.io import generation_path as _generation_path
 
 CHECKPOINT_VERSION = 1
 CHECKPOINT_MAGIC = b"RPRCKPT1"
 #: Generations kept on disk by default: the live file plus ``path.1``.
 DEFAULT_KEEP = 2
-
-_CRC_BYTES = 4
 
 
 class CheckpointError(RuntimeError):
@@ -87,18 +96,6 @@ def _integrity_summary(executor) -> dict | None:
     return sentinel.ledger.summary() if sentinel is not None else None
 
 
-def _generation_path(path: str, generation: int) -> str:
-    return path if generation == 0 else f"{path}.{generation}"
-
-
-def _rotate(path: str, keep: int) -> None:
-    """Shift existing generations one slot older, dropping the oldest."""
-    for generation in range(keep - 1, 0, -1):
-        source = _generation_path(path, generation - 1)
-        if os.path.exists(source):
-            os.replace(source, _generation_path(path, generation))
-
-
 def save_checkpoint(campaign, path: str, keep: int = DEFAULT_KEEP) -> None:
     """Atomically persist *campaign*'s state to *path*.
 
@@ -110,50 +107,27 @@ def save_checkpoint(campaign, path: str, keep: int = DEFAULT_KEEP) -> None:
 
 def save_state(state: dict, path: str, keep: int = DEFAULT_KEEP) -> None:
     """Persist an arbitrary checkpoint state dict with the full
-    ``RPRCKPT1`` durability stack (atomic write, CRC framing,
-    rotation).  *state* must carry ``version`` (and a ``kind`` so
-    loaders can tell campaign and parallel checkpoints apart); the
-    single-campaign and multi-shard checkpoints share this framing.
+    ``RPRCKPT1`` durability stack (atomic write + parent-dir fsync,
+    CRC framing, rotation — all via :mod:`repro.store`).  *state* must
+    carry ``version`` (and a ``kind`` so loaders can tell campaign and
+    parallel checkpoints apart); the single-campaign and multi-shard
+    checkpoints share this framing.
     """
     body = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-    payload = (
-        CHECKPOINT_MAGIC
-        + zlib.crc32(body).to_bytes(_CRC_BYTES, "little")
-        + body
-    )
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(payload)
-        handle.flush()
-        os.fsync(handle.fileno())
-    _rotate(path, max(1, keep))
-    os.replace(tmp_path, path)
+    write_framed(path, CHECKPOINT_MAGIC, body, keep=max(1, keep))
 
 
 def _load_one(path: str) -> dict:
-    """Read and fully validate a single checkpoint file."""
+    """Read and fully validate a single checkpoint file.
+
+    Framing failures (bad magic, truncation, CRC mismatch) re-raise
+    the store's :class:`FrameError` as :class:`CheckpointError`, so
+    messages carry the byte offset and expected/actual CRC.
+    """
     try:
-        with open(path, "rb") as handle:
-            payload = handle.read()
-    except OSError as error:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {error}")
-    if not payload.startswith(CHECKPOINT_MAGIC):
-        raise CheckpointError(f"{path!r} is not a campaign checkpoint")
-    header_end = len(CHECKPOINT_MAGIC) + _CRC_BYTES
-    if len(payload) < header_end:
-        raise CheckpointError(f"truncated checkpoint header in {path!r}")
-    expected_crc = int.from_bytes(
-        payload[len(CHECKPOINT_MAGIC):header_end], "little"
-    )
-    body = payload[header_end:]
-    actual_crc = zlib.crc32(body)
-    if actual_crc != expected_crc:
-        raise CheckpointError(
-            f"checkpoint {path!r} failed CRC "
-            f"(expected {expected_crc:08x}, got {actual_crc:08x})"
-        )
+        body = read_framed(path, CHECKPOINT_MAGIC)
+    except FrameError as error:
+        raise CheckpointError(f"checkpoint {error}")
     try:
         state = pickle.loads(body)
     except Exception as error:  # truncated/corrupt pickle stream
@@ -191,9 +165,11 @@ def load_state(path: str) -> dict:
 
     Every failure mode — unreadable file, bad magic, CRC mismatch,
     corrupt pickle, wrong payload shape, version skew — surfaces as a
-    :class:`CheckpointError`; when *all* generations fail, the raised
-    error names every generation tried with its individual reason, so
-    an operator can see at a glance which files were consulted.
+    :class:`CheckpointError` carrying the byte offset (and, for
+    checksum failures, the expected/actual CRC32) of the damage; when
+    *all* generations fail, the raised error names every generation
+    tried with its individual reason, so an operator can see at a
+    glance which files were consulted.
     """
     failures: list[str] = []
     tried: list[str] = []

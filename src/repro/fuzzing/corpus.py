@@ -17,8 +17,15 @@ import numpy as np
 
 def input_hash(data: bytes) -> str:
     """Stable content identity of one corpus input — the dedup key the
-    multi-worker sync protocol exchanges instead of raw bytes."""
-    return hashlib.sha1(bytes(data)).hexdigest()
+    multi-worker sync protocol exchanges instead of raw bytes.
+
+    sha256, deliberately identical to the corpus object store's
+    addressing (:func:`repro.store.object_digest`): an entry's content
+    hash *is* its store address, so hash-only corpus exchange can
+    resolve payloads straight from a shared :class:`~repro.store
+    .CorpusStore` without a translation table.
+    """
+    return hashlib.sha256(bytes(data)).hexdigest()
 
 
 @dataclass

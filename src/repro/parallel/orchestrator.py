@@ -81,6 +81,10 @@ class ParallelConfig:
     # Wall-clock ceiling per worker reply before the orchestrator
     # declares the process dead (process transport only).
     worker_timeout_s: float = 300.0
+    # Shared content-addressed corpus store root: workers put payloads
+    # there and the sync exchange goes hash-only (see
+    # repro.parallel.sync); None = payloads ride the wire as before.
+    corpus_store_root: str | None = None
     # Test hooks: kill the orchestrator after this barrier (checkpoint
     # resume tests), and per-worker death rounds (replacement tests;
     # maps shard_id -> round_index, process transport only).
@@ -119,6 +123,7 @@ class ParallelConfig:
                 self.use_processes or self.checkpoint_path is not None
             ),
             die_at_round=self.die_at_rounds.get(shard_id),
+            corpus_store_root=self.corpus_store_root,
         )
 
 
@@ -383,9 +388,14 @@ class ParallelCampaign:
 
     def __init__(self, config: ParallelConfig):
         self.config = config
+        self.store = None
+        if config.corpus_store_root is not None:
+            from repro.store import CorpusStore
+            self.store = CorpusStore(config.corpus_store_root)
         self.hub = SyncHub(
             config.n_workers,
             max_imports_per_sync=config.max_imports_per_sync,
+            store=self.store,
         )
         self.round_index = 0
         self.barrier_states: list[bytes | None] = [None] * config.n_workers
@@ -433,7 +443,7 @@ class ParallelCampaign:
                 "(target, n_workers, seed, budget, sync_every) tuple"
             )
         campaign = cls(config)
-        campaign.hub = SyncHub.from_state(state["hub"])
+        campaign.hub = SyncHub.from_state(state["hub"], store=campaign.store)
         campaign.round_index = state["round_index"]
         campaign.barrier_states = list(state["barrier_states"])
         campaign._resume = True

@@ -25,6 +25,16 @@ Determinism invariants the protocol maintains:
   ``max_imports_per_sync`` inputs per barrier; the surplus stays
   queued in its outbox (FIFO) for later barriers, so a discovery burst
   delays — never reorders or drops — the exchange.
+
+With a shared :class:`repro.store.CorpusStore`, the exchange is
+**hash-only**: workers ``put`` payloads into the content-addressed
+store and offer candidates carrying just the sha256 digest (which *is*
+the store address, since ``input_hash`` uses the same hash); the hub
+resolves payloads from the store only at delivery time.  Candidates,
+hub snapshots, and checkpoints then carry digests instead of input
+bytes — the payload crosses the process boundary zero times — and the
+merge stays bit-identical because dedup/novelty/ordering never looked
+at the bytes anyway.
 """
 
 from __future__ import annotations
@@ -38,26 +48,41 @@ from repro.fuzzing.coverage import VirginMap
 
 @dataclass(frozen=True)
 class SyncCandidate:
-    """One queue entry offered to the hub at a sync barrier."""
+    """One queue entry offered to the hub at a sync barrier.
+
+    ``data`` is ``None`` for hash-only candidates: the payload lives in
+    the shared corpus store under ``digest`` and is resolved only when
+    the hub delivers the import.
+    """
 
     shard_id: int
     entry_id: int
-    data: bytes
+    data: bytes | None
     signature: bytes      # classified coverage map (corpus signature)
     exec_ns: int
+    digest: str = ""      # sha256 store address (hash-only exchange)
 
     @property
     def hash(self) -> str:
-        return input_hash(self.data)
+        return self.digest or input_hash(self.data)
 
     @classmethod
-    def from_entry(cls, shard_id: int, entry: QueueEntry) -> "SyncCandidate":
+    def from_entry(cls, shard_id: int, entry: QueueEntry,
+                   store=None, owner: str | None = None) -> "SyncCandidate":
+        """Wrap one queue entry; with *store*, the payload is put into
+        the content-addressed store and the candidate ships hash-only."""
+        digest = ""
+        data: bytes | None = entry.data
+        if store is not None:
+            digest = store.put(entry.data, owner=owner)
+            data = None
         return cls(
             shard_id=shard_id,
             entry_id=entry.entry_id,
-            data=entry.data,
+            data=data,
             signature=entry.coverage_signature,
             exec_ns=entry.exec_ns,
+            digest=digest,
         )
 
 
@@ -99,7 +124,7 @@ class SyncHub:
     """The orchestrator-side merge point of the sync protocol."""
 
     def __init__(self, n_workers: int, max_imports_per_sync: int = 64,
-                 map_size: int | None = None):
+                 map_size: int | None = None, store=None):
         self.n_workers = n_workers
         self.max_imports_per_sync = max_imports_per_sync
         self.virgin = (
@@ -111,6 +136,9 @@ class SyncHub:
             deque() for _ in range(n_workers)
         ]
         self.stats = SyncStats()
+        # Shared corpus store: resolves hash-only candidates at drain
+        # time (duck-typed ``get(digest) -> bytes``).
+        self.store = store
 
     def register_seeds(self, seeds: list[bytes]) -> None:
         """Mark the common seed corpus as already known: every worker
@@ -144,13 +172,25 @@ class SyncHub:
                         self.outboxes[shard].append(candidate)
         return fresh
 
+    def _payload(self, candidate: SyncCandidate) -> bytes:
+        """The candidate's input bytes, resolving hash-only candidates
+        through the shared corpus store."""
+        if candidate.data is not None:
+            return candidate.data
+        if self.store is None:
+            raise RuntimeError(
+                f"hash-only sync candidate {candidate.hash} cannot be "
+                "delivered: the hub has no corpus store to resolve it from"
+            )
+        return self.store.get(candidate.hash)
+
     def drain(self, shard_id: int) -> list[bytes]:
         """Pop this worker's next batch of imports (bounded by the
         backpressure cap; the remainder stays queued in FIFO order)."""
         outbox = self.outboxes[shard_id]
         batch: list[bytes] = []
         while outbox and len(batch) < self.max_imports_per_sync:
-            batch.append(outbox.popleft().data)
+            batch.append(self._payload(outbox.popleft()))
         self.stats.delivered += len(batch)
         self.stats.deferred += len(outbox)
         return batch
@@ -178,8 +218,9 @@ class SyncHub:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "SyncHub":
-        hub = cls(state["n_workers"], state["max_imports_per_sync"])
+    def from_state(cls, state: dict, store=None) -> "SyncHub":
+        hub = cls(state["n_workers"], state["max_imports_per_sync"],
+                  store=store)
         hub.virgin = VirginMap.from_bytes(state["virgin"])
         hub.seen_hashes = set(state["seen_hashes"])
         hub.accepted = list(state["accepted"])

@@ -84,6 +84,13 @@ class WorkerConfig:
     # Test hook (process transport only): die mid-round with this index,
     # modelling a worker process crash the orchestrator must heal.
     die_at_round: int | None = None
+    # Shared content-addressed corpus store root (repro.store
+    # .CorpusStore).  When set, the worker puts every queue payload into
+    # the store (owner = its campaign identity) and offers *hash-only*
+    # sync candidates; the orchestrator's hub resolves payloads from the
+    # same root.  A path, not a live handle, so the config stays
+    # picklable for spawn.
+    corpus_store_root: str | None = None
 
     @property
     def worker_seed(self) -> int:
@@ -179,6 +186,11 @@ class WorkerRuntime:
         self.config = config
         self.executor = build_worker_executor(config)
         campaign_config = config.campaign_config()
+        self.store = None
+        if config.corpus_store_root is not None:
+            from repro.store import CorpusStore
+            self.store = CorpusStore(config.corpus_store_root)
+            campaign_config.corpus_store = self.store
         if state is not None:
             # *state* is a pickled barrier snapshot (RoundReport.state).
             self.campaign = Campaign.from_state(
@@ -228,7 +240,11 @@ class WorkerRuntime:
                 continue
             self._known_hashes.add(key)
             discoveries.append(
-                SyncCandidate.from_entry(self.config.shard_id, entry)
+                SyncCandidate.from_entry(
+                    self.config.shard_id, entry,
+                    store=self.store,
+                    owner=self.campaign.corpus_owner,
+                )
             )
         return self._report(round_index, imported, discoveries)
 

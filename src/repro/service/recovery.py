@@ -30,43 +30,38 @@ import json
 import os
 
 from repro.fuzzing.checkpoint import save_state
+from repro.store import AppendLog, atomic_write
+from repro.store.log import canonical_line
 
-
-def canonical_line(record: dict) -> str:
-    """One journal record in canonical JSON (no newline)."""
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+__all__ = [
+    "JobJournal", "ServiceState", "canonical_line", "checkpoint_job_state",
+]
 
 
 class JobJournal:
-    """Append-only fsynced lifecycle journal (see module docstring)."""
+    """Append-only fsynced lifecycle journal (see module docstring).
+
+    A thin wrapper over :class:`repro.store.AppendLog` pinned to the
+    journal's protocol: every append is fsynced before it returns
+    (journal-before-ack).
+    """
 
     def __init__(self, path: str):
         self.path = path
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self._log = AppendLog(path, fsync_every=1)
 
     def append(self, record: dict) -> None:
         """Durably append one lifecycle record."""
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(canonical_line(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._log.append(record, sync=True)
 
     def read(self) -> list[dict]:
         """All records (empty if absent); a torn tail is dropped, the
-        valid prefix is the journal's state."""
-        if not os.path.exists(self.path):
-            return []
-        records: list[dict] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    break  # torn tail: keep the valid prefix
-        return records
+        valid prefix is the journal's state.  Corruption *before* the
+        tail raises :class:`repro.store.LogCorruption` — replaying past
+        silently missing lifecycle records could double-run or lose an
+        acknowledged job, so the error (with its byte offset) is
+        surfaced for ``python -m repro.store fsck --repair``."""
+        return self._log.read()
 
 
 class ServiceState:
@@ -89,12 +84,10 @@ class ServiceState:
 
     def write_endpoint(self, host: str, port: int) -> None:
         """Atomically advertise the listening endpoint for clients."""
-        tmp = self.endpoint_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump({"host": host, "port": port}, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.endpoint_path)
+        atomic_write(
+            self.endpoint_path,
+            json.dumps({"host": host, "port": port}).encode("utf-8"),
+        )
 
     def read_endpoint(self) -> tuple[str, int]:
         """The advertised (host, port) pair."""

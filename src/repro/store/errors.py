@@ -1,0 +1,61 @@
+"""Error taxonomy of the durable-storage plane.
+
+One base class so callers can catch "the store is damaged" uniformly,
+with subclasses carrying the forensic detail (path, byte offset, CRC
+values) each failure mode can name.  The experiment platform's
+``StoreError`` is this base class re-exported, so pre-existing
+``except StoreError`` sites keep working across the refactor.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(RuntimeError):
+    """A durable store that cannot be read or extended as asked."""
+
+
+class FrameError(StoreError):
+    """A CRC32-framed file failing validation (magic, length, CRC).
+
+    The message always names the file and the byte offset of the
+    failure; checksum failures additionally carry the expected and
+    actual CRC32 values.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+class LogCorruption(StoreError):
+    """A JSONL append log damaged *before* its tail.
+
+    A torn tail (a crash mid-append) is expected damage and silently
+    dropped by readers; an unparsable record with valid records after
+    it is real corruption and raises this, naming the file, the byte
+    offset, and the 1-based line number of the bad record.
+    """
+
+    def __init__(self, path: str, byte_offset: int, line_number: int,
+                 detail: str):
+        self.path = path
+        self.byte_offset = byte_offset
+        self.line_number = line_number
+        self.detail = detail
+        super().__init__(
+            f"corrupt record in {path!r} at byte offset {byte_offset} "
+            f"(line {line_number}): {detail}"
+        )
+
+
+class ObjectCorruption(StoreError):
+    """A corpus-store object whose content no longer matches its digest."""
+
+    def __init__(self, digest: str, path: str, actual: str):
+        self.digest = digest
+        self.path = path
+        self.actual = actual
+        super().__init__(
+            f"object {digest} at {path!r} fails verification: "
+            f"content hashes to {actual}"
+        )

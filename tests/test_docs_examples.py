@@ -35,6 +35,7 @@ RUNNABLE = {
     "fuzz_gpmf.py": ["8"],        # 8 virtual ms instead of the default 120
     "run_experiment.py": [],
     "fuzz_service.py": [],
+    "corpus_store.py": [],
 }
 
 EXEMPT = {"reproduce_paper.py"}
