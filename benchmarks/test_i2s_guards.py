@@ -1,0 +1,35 @@
+"""I2S guard-cracking benchmark: the issue's acceptance experiment.
+
+Paired campaigns (havoc-only vs I2S-enabled, same seeds, same virtual
+budget) must reach a magic-byte / length-field-guarded edge within
+half the havoc arm's virtual time on at least three targets.  The
+rendered table lands in ``benchmarks/results/i2s_guards.txt``.
+
+The guard-cell methodology (witness minus seeds minus near-miss
+decoy, stability-intersected) lives in
+:mod:`repro.experiments.i2s_exp`.
+
+A 60ms budget (vs the 20ms benchmark default) keeps censored havoc
+arms meaningfully above the I2S arms' actual crack times; override
+with ``REPRO_BUDGET_MS`` as usual.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import save_result
+
+from repro.experiments.i2s_exp import GUARD_TARGETS, run_i2s_guards
+
+MIN_TARGETS_MET = 3
+BUDGET_NS = 60_000_000
+
+
+def test_i2s_reaches_guards_in_half_the_time(config, results_dir):
+    sized = dataclasses.replace(config, budget_ns=max(config.budget_ns,
+                                                      BUDGET_NS))
+    result = run_i2s_guards(sized)
+    save_result(results_dir, "i2s_guards", result.render())
+    assert len(result.rows) == len(GUARD_TARGETS)
+    assert result.targets_met >= MIN_TARGETS_MET, result.render()

@@ -22,8 +22,8 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 CELL_KEYS = {
-    "target", "mechanism", "optimized", "execs", "wall_s", "execs_per_s",
-    "virtual_ns_per_exec", "instructions_per_exec",
+    "target", "mechanism", "optimized", "i2s", "execs", "wall_s",
+    "execs_per_s", "virtual_ns_per_exec", "instructions_per_exec",
 }
 
 
@@ -37,14 +37,15 @@ def small_report():
 
 
 def test_report_schema(small_report):
-    assert small_report["schema"] == "repro-bench-wallclock/2"
+    assert small_report["schema"] == "repro-bench-wallclock/3"
     assert set(small_report["host"]) == {
         "python", "implementation", "machine", "system",
     }
     assert small_report["execs_per_cell"] == 30
     # closurex + fresh baselines, plus the automatic optimized-closurex
-    # cell run_bench adds whenever closurex is measured.
-    assert len(small_report["cells"]) == 3
+    # and armed-observer (i2s) closurex cells run_bench adds whenever
+    # closurex is measured.
+    assert len(small_report["cells"]) == 4
     for cell in small_report["cells"]:
         assert set(cell) == CELL_KEYS
 
@@ -59,23 +60,37 @@ def test_throughput_is_positive_and_timed(small_report):
 
 
 def _by_variant(report):
-    return {(c["mechanism"], c["optimized"]): c for c in report["cells"]}
+    return {
+        (c["mechanism"], c["optimized"], c["i2s"]): c
+        for c in report["cells"]
+    }
 
 
 def test_closurex_cheaper_than_fresh_in_virtual_time(small_report):
     cells = _by_variant(small_report)
     assert (
-        cells[("closurex", False)]["virtual_ns_per_exec"]
-        < cells[("fresh", False)]["virtual_ns_per_exec"]
+        cells[("closurex", False, False)]["virtual_ns_per_exec"]
+        < cells[("fresh", False, False)]["virtual_ns_per_exec"]
     )
 
 
 def test_optimized_closurex_executes_fewer_instructions(small_report):
     cells = _by_variant(small_report)
     assert (
-        cells[("closurex", True)]["instructions_per_exec"]
-        < cells[("closurex", False)]["instructions_per_exec"]
+        cells[("closurex", True, False)]["instructions_per_exec"]
+        < cells[("closurex", False, False)]["instructions_per_exec"]
     )
+
+
+def test_i2s_observation_does_not_change_virtual_cost(small_report):
+    """Arming the compare observer is a host-side tap: it may cost
+    real seconds but must not perturb the simulated execution."""
+    cells = _by_variant(small_report)
+    baseline = cells[("closurex", False, False)]
+    armed = cells[("closurex", False, True)]
+    assert armed["instructions_per_exec"] == \
+        baseline["instructions_per_exec"]
+    assert armed["virtual_ns_per_exec"] == baseline["virtual_ns_per_exec"]
 
 
 def test_report_is_json_serialisable(small_report):
@@ -89,11 +104,14 @@ def test_checked_in_artifact_matches_schema():
     if not path.exists():
         pytest.skip("BENCH_wallclock.json not generated yet")
     report = json.loads(path.read_text())
-    assert report["schema"] == "repro-bench-wallclock/2"
+    assert report["schema"] == "repro-bench-wallclock/3"
     assert report["cells"], "artifact has no measurement cells"
     optimized_cells = 0
+    i2s_cells = 0
     for cell in report["cells"]:
         assert set(cell) == CELL_KEYS
         assert cell["execs_per_s"] > 0
         optimized_cells += cell["optimized"]
+        i2s_cells += cell["i2s"]
     assert optimized_cells, "artifact carries no optimized cells"
+    assert i2s_cells, "artifact carries no i2s (armed observer) cells"

@@ -11,6 +11,9 @@ around — the IR stays import-light):
   which of the four state dimensions (heap, file, global, exit) a
   target can touch, consumed by the pass pipeline and the runtime
   harness to elide provably-unnecessary work.
+- :mod:`repro.analysis.dictionary` — static auto-dictionary mining
+  (``icmp``/``switch``/``memcmp``-family constants) feeding the
+  input-to-state mutation stage (:mod:`repro.fuzzing.i2s`).
 - :mod:`repro.analysis.lint` — diagnostic lint rules with structured
   severities for CI gating.
 - :mod:`repro.analysis.opt` — the analysis-driven optimizer: validated
@@ -39,6 +42,7 @@ from repro.analysis.dataflow import (
     stores_reaching,
     unused_definitions,
 )
+from repro.analysis.dictionary import mine_dictionary_tokens
 from repro.analysis.lint import Diagnostic, Linter, Severity, lint_module
 from repro.analysis.pollution import (
     DIMENSION_PASSES,
@@ -66,6 +70,7 @@ __all__ = [
     "reaching_stores",
     "stores_reaching",
     "unused_definitions",
+    "mine_dictionary_tokens",
     "Diagnostic",
     "Linter",
     "Severity",

@@ -133,6 +133,11 @@ class Executor:
         # creates when profiling is enabled (see vm_counters()).
         self.opcode_counts: dict[str, int] = {}
         self.libc_counts: dict[str, int] = {}
+        # Optional input-to-state compare tap
+        # (:class:`repro.fuzzing.i2s.CmpObserver`), threaded into every
+        # VM this executor creates; None keeps icmp/switch dispatch on
+        # the uninstrumented path.
+        self.cmp_observer = None
 
     @property
     def clock(self):
@@ -149,12 +154,24 @@ class Executor:
         self.faults = faults
         self.kernel.faults = faults
 
+    def attach_cmp_observer(self, observer) -> None:
+        """Share one compare-operand tap with every future VM.
+
+        Must be attached before :meth:`boot` so persistent mechanisms
+        bake it into their resident VM; respawned VMs re-read it from
+        :meth:`vm_kwargs` automatically.
+        """
+        self.cmp_observer = observer
+
     def vm_kwargs(self) -> dict:
         """Keyword arguments every VM this executor builds should get:
-        the profiling dicts (when enabled) plus the chaos hook."""
+        the profiling dicts (when enabled), the chaos hook, and the
+        compare tap."""
         kwargs = self.vm_counters()
         if self.faults is not None:
             kwargs["faults"] = self.faults
+        if self.cmp_observer is not None:
+            kwargs["cmp_observer"] = self.cmp_observer
         return kwargs
 
     # -- checkpoint support ---------------------------------------------

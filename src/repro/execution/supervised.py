@@ -151,6 +151,10 @@ class SupervisedExecutor(Executor):
         super().attach_faults(faults)
         self.inner.attach_faults(faults)
 
+    def attach_cmp_observer(self, observer) -> None:
+        super().attach_cmp_observer(observer)
+        self.inner.attach_cmp_observer(observer)
+
     def shutdown(self) -> None:
         self.inner.shutdown()
 
@@ -301,6 +305,8 @@ class SupervisedExecutor(Executor):
             replacement.attach_telemetry(self.telemetry)
         if self.injector is not None:
             replacement.attach_faults(self.injector)
+        if self.cmp_observer is not None:
+            replacement.attach_cmp_observer(self.cmp_observer)
         self.inner = replacement
         self._degraded = True
         self.supervision.degradations += 1

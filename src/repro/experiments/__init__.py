@@ -10,6 +10,7 @@ Index (see DESIGN.md §3 for the full mapping):
 - E6 figures 3-5 (:func:`run_global_pass_figure`, :func:`run_restore_lifecycle`)
 - E7 motivation (:func:`run_motivation`) — persistent-mode pathologies
 - E8 ablations (:func:`run_pass_ablation`, :func:`run_fd_rewind_ablation`)
+- i2s-guards (:func:`run_i2s_guards`) — input-to-state time-to-guarded-edge
 
 ``python -m repro.experiments`` lists and runs these entry points from
 the command line.  Beyond the paper's fixed tables, the
@@ -48,6 +49,13 @@ from repro.experiments.figures import (
     run_spectrum,
     run_timeline,
 )
+from repro.experiments.i2s_exp import (
+    GUARD_TARGETS,
+    I2SGuardResult,
+    I2SGuardRow,
+    guard_cells,
+    run_i2s_guards,
+)
 from repro.experiments.motivation import (
     DEMO_SOURCE,
     MotivationReport,
@@ -80,6 +88,8 @@ __all__ = [
     "SpectrumResult", "TimelineFigure",
     "run_global_pass_figure", "run_restore_lifecycle", "run_spectrum",
     "run_timeline",
+    "GUARD_TARGETS", "I2SGuardResult", "I2SGuardRow", "guard_cells",
+    "run_i2s_guards",
     "DEMO_SOURCE", "MotivationReport", "build_demo_modules", "run_motivation",
     "a12_magnitude", "bootstrap_ci", "format_count", "format_table",
     "mann_whitney_p", "mann_whitney_u", "mean", "median", "stddev",

@@ -28,6 +28,7 @@ from repro.experiments.ablation import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.correctness_exp import run_correctness
 from repro.experiments.figures import run_spectrum, run_timeline
+from repro.experiments.i2s_exp import run_i2s_guards
 from repro.experiments.motivation import run_motivation
 from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
@@ -73,6 +74,10 @@ ENTRY_POINTS = {
     "fd-rewind": (
         "FD-rewind ablation (restore cost vs correctness)",
         lambda config, target: run_fd_rewind_ablation(target),
+    ),
+    "i2s-guards": (
+        "Input-to-state stage: time-to-guarded-edge vs havoc-only",
+        lambda config, target: run_i2s_guards(config),
     ),
 }
 

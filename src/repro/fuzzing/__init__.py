@@ -15,6 +15,14 @@ from repro.fuzzing.checkpoint import (
     save_state,
 )
 from repro.fuzzing.corpus import Corpus, QueueEntry, input_hash
+from repro.fuzzing.i2s import (
+    AutoDictionary,
+    CmpObserver,
+    I2SStage,
+    StageStats,
+    operand_encodings,
+    replacement_patches,
+)
 from repro.fuzzing.coverage import (
     VirginMap,
     classify,
@@ -37,6 +45,8 @@ __all__ = [
     "CheckpointError", "capture_state", "load_checkpoint", "load_state",
     "save_checkpoint", "save_state",
     "Corpus", "QueueEntry", "input_hash",
+    "AutoDictionary", "CmpObserver", "I2SStage", "StageStats",
+    "operand_encodings", "replacement_patches",
     "VirginMap", "classify", "coverage_signature", "edge_count",
     "HavocMutator", "deterministic_mutations",
     "CrashIdentity", "CrashReport", "CrashTriage", "HangReport",

@@ -1,0 +1,141 @@
+"""Command-line entry point for single-worker fuzzing campaigns.
+
+Examples::
+
+    # 20 virtual ms of ClosureX fuzzing on the gif target
+    python -m repro.fuzzing --target giftext
+
+    # same campaign with the input-to-state stage armed
+    python -m repro.fuzzing --target libpcap --i2s --budget-ms 40
+
+    # checkpoint every 4 virtual ms; resume continues bit-identically
+    python -m repro.fuzzing --target md4c --checkpoint /tmp/fuzz.ckpt
+    python -m repro.fuzzing --resume /tmp/fuzz.ckpt
+
+The final line of output is ``digest: <sha256>`` — the same
+configuration always prints the same digest, and an interrupted
+campaign resumed from its checkpoint prints the digest of the
+never-interrupted run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+from repro.fuzzing.campaign import Campaign, CampaignConfig
+from repro.fuzzing.checkpoint import load_checkpoint
+from repro.sim_os import Kernel
+from repro.targets import get_target, target_names
+
+MS = 1_000_000  # virtual ns per virtual ms
+
+#: Mechanisms a single-worker CLI campaign can run under.
+CLI_MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
+
+
+def campaign_digest(campaign, result) -> str:
+    """Stable fingerprint of everything 'bit-identical' means for one
+    finished campaign: corpus contents and signatures, crash identities,
+    exec count, and the virtual clock."""
+    h = hashlib.sha256()
+    h.update(f"{result.execs}:{result.elapsed_ns}".encode())
+    for entry in campaign.corpus.entries:
+        h.update(entry.data)
+        h.update(entry.coverage_signature)
+    for report in result.crash_reports:
+        h.update(repr(report.identity).encode())
+    return h.hexdigest()
+
+
+def _build_executor(target_name: str, mechanism: str):
+    # Local import: repro.experiments owns the mechanism->executor
+    # table; pulling it lazily keeps `python -m repro.fuzzing --help`
+    # fast and avoids a hard layering cycle at import time.
+    from repro.experiments.campaign_runner import build_executor
+
+    return build_executor(target_name, mechanism, Kernel())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzzing",
+        description="Run one deterministic fuzzing campaign "
+                    "(optionally with the input-to-state stage).",
+    )
+    parser.add_argument("--target", choices=target_names(),
+                        help="target program (see --list-targets)")
+    parser.add_argument("--mechanism", choices=CLI_MECHANISMS,
+                        default="closurex",
+                        help="execution mechanism (default: closurex)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--budget-ms", type=int, default=20,
+                        help="virtual budget in virtual milliseconds "
+                             "(default: 20)")
+    parser.add_argument("--i2s", action="store_true",
+                        help="enable the input-to-state stage (compare "
+                             "tapping, colorization, auto-dictionary)")
+    parser.add_argument("--checkpoint", metavar="PATH",
+                        help="write a crash-safe checkpoint every "
+                             "interval (see --checkpoint-ms)")
+    parser.add_argument("--checkpoint-ms", type=int, default=4,
+                        help="checkpoint cadence in virtual ms "
+                             "(default: 4)")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="resume a campaign from a checkpoint")
+    parser.add_argument("--list-targets", action="store_true",
+                        help="list available targets and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_targets:
+        for name in target_names():
+            print(name)
+        return 0
+    if args.resume is not None:
+        if args.target is None:
+            print("error: --resume needs --target (checkpoints identify "
+                  "the mechanism, not the target program)", file=sys.stderr)
+            return 2
+        state = load_checkpoint(args.resume)
+        executor = _build_executor(args.target, state["mechanism"])
+        campaign = Campaign.resume(args.resume, executor)
+    else:
+        if args.target is None:
+            print("error: --target is required (or --resume / "
+                  "--list-targets)", file=sys.stderr)
+            return 2
+        spec = get_target(args.target)
+        executor = _build_executor(args.target, args.mechanism)
+        campaign = Campaign(executor, spec.seeds, CampaignConfig(
+            budget_ns=args.budget_ms * MS,
+            seed=args.seed,
+            i2s_enabled=args.i2s,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval_ns=args.checkpoint_ms * MS,
+        ))
+    result = campaign.run()
+    print(f"mechanism        : {result.mechanism}")
+    print(f"seed             : {campaign.config.seed}")
+    print(f"budget           : {result.budget_ns / MS:g} vms")
+    print(f"execs            : {result.execs}")
+    print(f"corpus           : {result.corpus_size} inputs")
+    print(f"edges found      : {result.edges_found}")
+    print(f"unique crashes   : {result.unique_crashes} "
+          f"(hangs: {result.unique_hangs})")
+    for name, stats in sorted(result.stage_stats.items()):
+        print(f"stage {name:<10} : {stats.execs} execs, "
+              f"{stats.finds} finds")
+    if args.i2s and campaign._i2s is not None:
+        print(f"i2s dictionary   : {len(campaign._i2s.dictionary)} tokens "
+              f"({len(campaign._i2s.site_pairs)} compare sites)")
+    print(f"digest: {campaign_digest(campaign, result)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ evaluation needs.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import random
 from dataclasses import dataclass, field
@@ -26,6 +27,7 @@ from repro.fuzzing.checkpoint import (
 )
 from repro.fuzzing.corpus import Corpus, QueueEntry, input_hash
 from repro.fuzzing.coverage import VirginMap, coverage_signature
+from repro.fuzzing.i2s import I2SStage, StageStats
 from repro.fuzzing.mutators import HavocMutator, deterministic_mutations
 from repro.fuzzing.triage import CrashTriage
 from repro.telemetry import CampaignReporter, TelemetryConfig, build_telemetry
@@ -82,6 +84,33 @@ class CampaignConfig:
     # ``campaign-s<seed>-w<shard_id>``.
     corpus_store: object | None = None
     corpus_owner: str | None = None
+    # Input-to-state (cmplog/RedQueen-style) stage.  Off by default:
+    # with i2s_enabled=False no observer is attached, the VM compare
+    # dispatch stays on the uninstrumented path, and the mutation RNG
+    # stream is byte-identical to pre-I2S campaigns.
+    i2s_enabled: bool = False
+    # Colorization executions per queue entry (0 disables colorization;
+    # located offsets then go unconfirmed, trading precision for execs).
+    i2s_colorize_budget: int = 16
+    # Total executions the I2S stage may spend on one queue entry
+    # (probe + colorize + replacement candidates).
+    i2s_entry_exec_cap: int = 128
+    # Offsets tried per (operand encoding) match in the input.
+    i2s_max_offsets_per_pair: int = 4
+    # Auto-dictionary capacity and per-token length cap; tokens come
+    # from observed compare constants and static IR mining.
+    i2s_dict_tokens: int = 256
+    i2s_dict_token_max_len: int = 32
+    # Mine icmp/switch/memcmp-family constants from the target IR into
+    # the dictionary at campaign start (needs an executor exposing its
+    # module, e.g. ClosureX).
+    i2s_static_dictionary: bool = True
+    # Stage self-throttling: after the I2S stage has spent this many
+    # execs, skip it for entries while its finds-per-virtual-ns falls
+    # below ratio x the havoc stage's rate.  Re-evaluated every entry,
+    # so a stage that starts paying again un-throttles.
+    i2s_throttle_min_execs: int = 256
+    i2s_throttle_ratio: float = 0.1
 
 
 @dataclass
@@ -113,6 +142,8 @@ class CampaignResult:
     timeline: list[TimelinePoint] = field(default_factory=list)
     crash_reports: list = field(default_factory=list)
     hang_reports: list = field(default_factory=list)
+    # Per-mutation-stage efficacy accounts (stage name -> StageStats).
+    stage_stats: dict = field(default_factory=dict)
 
     @property
     def execs_per_second(self) -> float:
@@ -138,7 +169,18 @@ class Campaign:
         self.corpus = Corpus()
         self.virgin = VirginMap()
         self.triage = CrashTriage()
-        self.havoc = HavocMutator(self.rng, self.config.max_input_size)
+        # Per-stage efficacy accounting; the I2S throttle reads these.
+        self.stage_stats: dict[str, StageStats] = {
+            name: StageStats() for name in ("trim", "det", "i2s", "havoc")
+        }
+        self._i2s: I2SStage | None = None
+        dictionary = None
+        if self.config.i2s_enabled:
+            self._i2s = I2SStage(self.config)
+            dictionary = self._i2s.dictionary
+            executor.attach_cmp_observer(self._i2s.observer)
+        self.havoc = HavocMutator(self.rng, self.config.max_input_size,
+                                  dictionary=dictionary)
         self.execs = 0
         self.current_entry_id = 0
         self.run_start_ns = 0
@@ -208,6 +250,16 @@ class Campaign:
             self._next_sample_ns = start_ns
             with tracer.span("stage.seed", seeds=len(self.seeds)):
                 self._seed_queue()
+        if (self._i2s is not None
+                and self.config.i2s_static_dictionary
+                and not self._i2s.static_mined):
+            module = self._target_module()
+            if module is not None:
+                mined = self._i2s.mine_static(module)
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "fuzz.i2s.static_tokens"
+                    ).inc(mined)
         if self.config.checkpoint_path is not None:
             self._next_checkpoint_ns = (
                 self.clock.now_ns + self.config.checkpoint_interval_ns
@@ -251,16 +303,36 @@ class Campaign:
                     times_selected=entry.times_selected,
                 )
             if self.config.enable_trim and not entry.trim_done:
+                marker = self._stage_marker()
                 with tracer.span("stage.trim", entry=entry.entry_id):
                     self._trim_entry(entry, deadline_ns)
+                self._stage_record("trim", marker)
                 entry.trim_done = True
             if self.config.enable_deterministic and not entry.det_done:
+                marker = self._stage_marker()
                 with tracer.span("stage.det", entry=entry.entry_id):
                     self._deterministic_stage(entry, deadline_ns)
+                self._stage_record("det", marker)
                 entry.det_done = True
+            if (self._i2s is not None
+                    and not getattr(entry, "i2s_done", False)
+                    and self.clock.now_ns < deadline_ns):
+                if self._i2s_throttled():
+                    if self.telemetry.enabled:
+                        self.telemetry.metrics.counter(
+                            "fuzz.i2s.throttle_skips"
+                        ).inc()
+                else:
+                    marker = self._stage_marker()
+                    with tracer.span("stage.i2s", entry=entry.entry_id):
+                        self._i2s.run_entry(self, entry, deadline_ns)
+                    self._stage_record("i2s", marker)
+                entry.i2s_done = True
             if self.clock.now_ns < deadline_ns:
+                marker = self._stage_marker()
                 with tracer.span("stage.havoc", entry=entry.entry_id):
                     self._havoc_stage(entry, deadline_ns)
+                self._stage_record("havoc", marker)
             if halt_ns is not None and self.clock.now_ns >= halt_ns:
                 self._halted = True
                 break
@@ -350,8 +422,12 @@ class Campaign:
                 f"got {executor.mechanism!r}"
             )
         if config is None:
+            # A non-None "i2s" snapshot means the interrupted campaign
+            # ran with the stage enabled; the continuation must too, or
+            # its mutation stream diverges from the uninterrupted run.
             config = CampaignConfig(
-                budget_ns=state["budget_ns"], seed=state["seed"]
+                budget_ns=state["budget_ns"], seed=state["seed"],
+                i2s_enabled=state.get("i2s") is not None,
             )
         campaign = cls(executor, seeds=[], config=config)
         campaign._resume_state = state
@@ -370,6 +446,14 @@ class Campaign:
         self._timeline = list(state["timeline"])
         self._next_sample_ns = state["next_sample_ns"]
         self.executor.restore_state(state["executor_state"])
+        # I2S stage state and per-stage accounts ride along in newer
+        # checkpoints; .get() keeps pre-I2S checkpoints loadable.
+        for name, stats in (state.get("stage_stats") or {}).items():
+            if name in self.stage_stats:
+                self.stage_stats[name] = dataclasses.replace(stats)
+        i2s_state = state.get("i2s")
+        if self._i2s is not None and i2s_state is not None:
+            self._i2s.restore(i2s_state)
         # Re-register the resumed corpus with the store: the payloads
         # are usually already objects on disk (puts are idempotent), but
         # a resume under a fresh store root — or one whose objects were
@@ -463,10 +547,12 @@ class Campaign:
                 mutated = self.havoc.mutate(entry.data)
             self._fuzz_one(mutated, entry)
 
-    def _fuzz_one(self, data: bytes, parent: QueueEntry) -> None:
+    def _fuzz_one(self, data: bytes, parent: QueueEntry) -> bool:
+        """Execute one mutated candidate; returns whether it joined the
+        queue (the per-stage 'finds' currency)."""
         result = self._execute(data)
         if result is None:
-            return
+            return False
         novelty = self.virgin.observe(result.coverage)
         if novelty == VirginMap.NEW_EDGES or (
             novelty == VirginMap.NEW_COUNTS and self.rng.random() < 0.5
@@ -484,6 +570,63 @@ class Campaign:
                         parent=parent.entry_id, depth=added.depth,
                         size=len(data),
                     )
+            return True
+        return False
+
+    # -- per-stage efficacy accounting ----------------------------------
+
+    def _stage_marker(self) -> tuple[int, int, int]:
+        """Snapshot (execs, finds, clock) before a stage runs."""
+        finds = len(self.corpus.entries) + self.triage.unique_count
+        return (self.execs, finds, self.clock.now_ns)
+
+    def _stage_record(self, stage: str, marker: tuple[int, int, int]) -> None:
+        """Charge a finished stage with everything since its marker."""
+        execs0, finds0, ns0 = marker
+        stats = self.stage_stats[stage]
+        delta_execs = self.execs - execs0
+        delta_finds = (
+            len(self.corpus.entries) + self.triage.unique_count - finds0
+        )
+        stats.execs += delta_execs
+        stats.finds += delta_finds
+        stats.ns += self.clock.now_ns - ns0
+        if self.telemetry.enabled and stage == "i2s":
+            metrics = self.telemetry.metrics
+            metrics.counter("fuzz.i2s.execs").inc(delta_execs)
+            metrics.counter("fuzz.i2s.finds").inc(delta_finds)
+            if self._i2s is not None:
+                metrics.gauge("fuzz.i2s.dict_tokens").set(
+                    len(self._i2s.dictionary)
+                )
+                metrics.gauge("fuzz.i2s.sites").set(
+                    len(self._i2s.site_pairs)
+                )
+
+    def _i2s_throttled(self) -> bool:
+        """Whether the I2S stage should be skipped for this entry: it
+        has had a fair trial (min execs) and its finds-per-virtual-ns
+        sits below the configured fraction of havoc's."""
+        stats = self.stage_stats["i2s"]
+        if stats.execs < self.config.i2s_throttle_min_execs:
+            return False
+        havoc = self.stage_stats["havoc"]
+        if havoc.ns == 0:
+            return False
+        return stats.find_rate() < (
+            self.config.i2s_throttle_ratio * havoc.find_rate()
+        )
+
+    def _target_module(self):
+        """The target's MiniIR module, if the executor exposes one
+        (ClosureX does; supervised executors forward via ``inner``)."""
+        executor = self.executor
+        while executor is not None:
+            module = getattr(executor, "module", None)
+            if module is not None:
+                return module
+            executor = getattr(executor, "inner", None)
+        return None
 
     def import_input(self, data: bytes) -> bool:
         """Adopt an input discovered by another shard (sync import).
@@ -564,4 +707,8 @@ class Campaign:
             timeline=self._timeline,
             crash_reports=self.triage.reports(),
             hang_reports=self.triage.hang_reports(),
+            stage_stats={
+                name: dataclasses.replace(stats)
+                for name, stats in self.stage_stats.items()
+            },
         )

@@ -43,6 +43,7 @@ thing resume cannot reconstruct; that mechanism is broken by design.)
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 
@@ -81,6 +82,14 @@ def capture_state(campaign) -> dict:
         "timeline": list(campaign._timeline),
         "next_sample_ns": campaign._next_sample_ns,
         "executor_state": executor.snapshot_state(),
+        # Input-to-state stage state + per-stage efficacy accounts.
+        # Both read back via .get() so pre-I2S checkpoints stay
+        # loadable (version stays 1: every added key is optional).
+        "i2s": campaign._i2s.snapshot() if campaign._i2s else None,
+        "stage_stats": {
+            name: dataclasses.replace(stats)
+            for name, stats in campaign.stage_stats.items()
+        },
         # Informational integrity summary (the full ledger rides inside
         # executor_state): lets reports and humans see at a glance what
         # the sentinel observed without unpickling executor internals.

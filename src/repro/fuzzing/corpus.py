@@ -42,6 +42,9 @@ class QueueEntry:
     favored: bool = False
     det_done: bool = False
     trim_done: bool = False
+    # Input-to-state stage ran once for this entry.  Old checkpoints
+    # predate the field; readers use getattr(entry, "i2s_done", False).
+    i2s_done: bool = False
     times_selected: int = 0
 
     @property

@@ -80,11 +80,22 @@ def _interesting16(data: bytes) -> Iterator[bytes]:
 
 
 class HavocMutator:
-    """Stacked random mutations (AFL's havoc stage) plus splicing."""
+    """Stacked random mutations (AFL's havoc stage) plus splicing.
 
-    def __init__(self, rng: random.Random, max_size: int = MAX_INPUT_SIZE):
+    When a *dictionary* (an :class:`repro.fuzzing.i2s.AutoDictionary`,
+    or any object that is truthy when non-empty and offers
+    ``pick(rng)``) is supplied, two extra operators — token overwrite
+    and token insert — join the choice space.  They only enter the RNG
+    draw once the dictionary holds at least one token, so a campaign
+    without I2S (or before the first harvested constant) produces a
+    byte-identical mutation stream to a dictionary-less mutator.
+    """
+
+    def __init__(self, rng: random.Random, max_size: int = MAX_INPUT_SIZE,
+                 dictionary=None):
         self.rng = rng
         self.max_size = max_size
+        self.dictionary = dictionary
 
     def mutate(self, data: bytes) -> bytes:
         out = bytearray(data if data else b"\x00")
@@ -106,7 +117,8 @@ class HavocMutator:
     # -- individual havoc operations ------------------------------------
 
     def _apply_one(self, out: bytearray) -> None:
-        choice = self.rng.randrange(12)
+        n_choices = 14 if self.dictionary else 12
+        choice = self.rng.randrange(n_choices)
         if choice == 0:
             self._flip_bit(out)
         elif choice == 1:
@@ -129,8 +141,12 @@ class HavocMutator:
             self._truncate(out)
         elif choice == 10:
             self._overwrite_word(out)
-        else:
+        elif choice == 11:
             self._random_byte(out)
+        elif choice == 12:
+            self._dict_overwrite(out)
+        else:
+            self._dict_insert(out)
 
     def _flip_bit(self, out: bytearray) -> None:
         if out:
@@ -167,11 +183,12 @@ class HavocMutator:
             del out[start:start + length]
 
     def _clone_block(self, out: bytearray) -> None:
-        if out and len(out) < self.max_size:
+        if out:
             length = self.rng.randrange(1, min(len(out), 32) + 1)
             start = self.rng.randrange(len(out) - length + 1)
             insert_at = self.rng.randrange(len(out) + 1)
             out[insert_at:insert_at] = out[start:start + length]
+            del out[self.max_size:]     # clamp, never silently skip
 
     def _overwrite_block(self, out: bytearray) -> None:
         if len(out) > 1:
@@ -181,11 +198,11 @@ class HavocMutator:
             out[dst:dst + length] = out[src:src + length]
 
     def _insert_random(self, out: bytearray) -> None:
-        if len(out) < self.max_size:
-            length = self.rng.randrange(1, 16)
-            blob = bytes(self.rng.randrange(256) for _ in range(length))
-            insert_at = self.rng.randrange(len(out) + 1)
-            out[insert_at:insert_at] = blob
+        length = self.rng.randrange(1, 16)
+        blob = bytes(self.rng.randrange(256) for _ in range(length))
+        insert_at = self.rng.randrange(len(out) + 1)
+        out[insert_at:insert_at] = blob
+        del out[self.max_size:]         # clamp, never silently skip
 
     def _swap_words(self, out: bytearray) -> None:
         if len(out) >= 4:
@@ -203,3 +220,19 @@ class HavocMutator:
             index = self.rng.randrange(len(out) - 3)
             value = self.rng.randrange(1 << 32)
             out[index:index + 4] = value.to_bytes(4, "little")
+
+    def _dict_overwrite(self, out: bytearray) -> None:
+        token = self.dictionary.pick(self.rng)
+        if token is None or not out:
+            return
+        pos = self.rng.randrange(len(out))
+        end = min(len(out), pos + len(token))
+        out[pos:end] = token[:end - pos]
+
+    def _dict_insert(self, out: bytearray) -> None:
+        token = self.dictionary.pick(self.rng)
+        if token is None:
+            return
+        insert_at = self.rng.randrange(len(out) + 1)
+        out[insert_at:insert_at] = token
+        del out[self.max_size:]         # clamp, never silently skip

@@ -100,6 +100,7 @@ class VM:
         opcode_counts: dict[str, int] | None = None,
         libc_counts: dict[str, int] | None = None,
         faults=None,
+        cmp_observer=None,
     ):
         self.module = module
         # Optional chaos hook (``faults.poll(site)`` -> exception | None)
@@ -119,6 +120,12 @@ class VM:
         # None keeps the dispatch loop on its uninstrumented path.
         self.opcode_counts = opcode_counts
         self.libc_counts = libc_counts
+        # Optional input-to-state tap (``repro.fuzzing.i2s.CmpObserver``):
+        # icmp/switch dispatch reports concrete operand pairs when the
+        # observer is attached *and* armed.  None (or a disarmed
+        # observer) keeps compares on the uninstrumented path — the
+        # same null-object contract as the telemetry count dicts.
+        self.cmp_observer = cmp_observer
 
         self.cost = 0                       # virtual ns consumed
         self.instructions_executed = 0
@@ -369,6 +376,9 @@ class VM:
                     break
                 elif cls is Switch:
                     value = evaluate(inst.value, values)
+                    observer = self.cmp_observer
+                    if observer is not None and observer.active:
+                        observer.observe_switch(self.site, inst, value)
                     next_block = inst.default
                     for case_value, case_block in inst.cases:
                         if case_value == value:
@@ -456,6 +466,9 @@ class VM:
     def _exec_icmp(self, inst: ICmp, values: dict[Value, int]) -> int:
         lhs = self._evaluate(inst.lhs, values)
         rhs = self._evaluate(inst.rhs, values)
+        observer = self.cmp_observer
+        if observer is not None and observer.active:
+            observer.observe_icmp(self.site, inst, lhs, rhs)
         predicate = inst.predicate
         if predicate in ("slt", "sle", "sgt", "sge"):
             lhs_type = inst.lhs.type

@@ -36,6 +36,7 @@ RUNNABLE = {
     "run_experiment.py": [],
     "fuzz_service.py": [],
     "corpus_store.py": [],
+    "i2s_fuzz.py": [],
 }
 
 EXEMPT = {"reproduce_paper.py"}

@@ -40,19 +40,28 @@ DEFAULT_MECHANISMS = ("closurex", "forkserver", "persistent", "fresh")
 
 
 def measure_cell(target: str, mechanism: str, execs: int,
-                 warmup: int = 5, optimized: bool = False) -> dict:
+                 warmup: int = 5, optimized: bool = False,
+                 i2s: bool = False) -> dict:
     """Time *execs* real executions of *target* under *mechanism*.
 
     Inputs cycle through the target's seed corpus so the measurement
     exercises the same paths a campaign's early iterations would.
     With ``optimized=True`` the module is first run through the
     validated IR optimizer, so the optimized-vs-baseline delta lands
-    in the artifact.  Returns the schema cell stored in
-    ``BENCH_wallclock.json``.
+    in the artifact.  With ``i2s=True`` a compare observer is attached
+    and armed for every execution — the wall-clock tax the
+    input-to-state stage pays per probe exec (the disarmed observer is
+    a single attribute check per compare; see docs/mutation.md).
+    Returns the schema cell stored in ``BENCH_wallclock.json``.
     """
     spec = get_target(target)
     executor = build_executor(target, mechanism, Kernel(),
                               optimize=optimized)
+    observer = None
+    if i2s:
+        from repro.fuzzing.i2s import CmpObserver
+        observer = CmpObserver()
+        executor.attach_cmp_observer(observer)
     inputs = itertools.cycle(spec.seeds)
     for _ in range(warmup):
         executor.run(next(inputs))
@@ -60,7 +69,11 @@ def measure_cell(target: str, mechanism: str, execs: int,
     instructions = 0
     start = time.perf_counter()
     for _ in range(execs):
+        if observer is not None:
+            observer.begin()
         result = executor.run(next(inputs))
+        if observer is not None:
+            observer.take()
         virtual_ns += result.ns
         instructions += result.instructions
     wall_s = time.perf_counter() - start
@@ -69,6 +82,7 @@ def measure_cell(target: str, mechanism: str, execs: int,
         "target": target,
         "mechanism": mechanism,
         "optimized": optimized,
+        "i2s": i2s,
         "execs": execs,
         "wall_s": round(wall_s, 6),
         "execs_per_s": round(execs / wall_s, 2) if wall_s > 0 else 0.0,
@@ -80,21 +94,24 @@ def measure_cell(target: str, mechanism: str, execs: int,
 def run_bench(targets, mechanisms, execs: int) -> dict:
     """Measure every (target, mechanism) cell; returns the full report.
 
-    Each target additionally gets an optimized ``closurex`` cell
-    (when ``closurex`` is among the mechanisms), so the artifact
-    always carries the optimizer's throughput delta next to its
-    baseline.
+    Each target additionally gets an optimized ``closurex`` cell and
+    an I2S (armed compare observer) ``closurex`` cell (when
+    ``closurex`` is among the mechanisms), so the artifact always
+    carries the optimizer's throughput delta and the observation tax
+    next to their shared baseline.
     """
     cells = []
     for target in targets:
-        variants = [(m, False) for m in mechanisms]
+        variants = [(m, False, False) for m in mechanisms]
         if "closurex" in mechanisms:
-            variants.append(("closurex", True))
-        for mechanism, optimized in variants:
+            variants.append(("closurex", True, False))
+            variants.append(("closurex", False, True))
+        for mechanism, optimized, i2s in variants:
             cell = measure_cell(target, mechanism, execs,
-                                optimized=optimized)
+                                optimized=optimized, i2s=i2s)
             cells.append(cell)
-            label = mechanism + ("+opt" if optimized else "")
+            label = mechanism + ("+opt" if optimized else "") \
+                + ("+i2s" if i2s else "")
             print(
                 f"{target:12s} {label:12s} "
                 f"{cell['execs_per_s']:>10.1f} execs/s  "
@@ -102,7 +119,7 @@ def run_bench(targets, mechanisms, execs: int) -> dict:
                 f"{cell['instructions_per_exec']:.0f} insts/exec)"
             )
     return {
-        "schema": "repro-bench-wallclock/2",
+        "schema": "repro-bench-wallclock/3",
         "host": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
